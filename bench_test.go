@@ -1,0 +1,246 @@
+// Benchmarks regenerating each of the paper's tables and figures at
+// testing.B scale. Each BenchmarkFigNN runs one scaled-down simulated
+// sweep per iteration and reports the figure's headline metrics as
+// custom benchmark outputs (ops/us in virtual time, speedups); the
+// full-resolution sweeps live behind cmd/reproduce.
+//
+// Uncontended real-lock latency benchmarks (the single-thread row of
+// Figure 6, where wall-clock numbers are meaningful on any host) are at
+// the bottom.
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/memsim"
+	"repro/internal/numa"
+	"repro/internal/qspin"
+	"repro/internal/simbench"
+	"repro/internal/stats"
+)
+
+// benchScale is small enough for testing.B iterations yet reaches the
+// contended steady state.
+func benchScale() simbench.Scale {
+	return simbench.Scale{
+		HorizonNs: 800_000,
+		Counts2S:  []int{1, 2, 36},
+		Counts4S:  []int{1, 2, 36},
+	}
+}
+
+// metricName turns a series label into a whitespace-free metric unit
+// ("CNA (opt)" -> "CNA-opt").
+func metricName(s string) string {
+	s = strings.ReplaceAll(s, " ", "")
+	s = strings.ReplaceAll(s, "(", "-")
+	return strings.ReplaceAll(s, ")", "")
+}
+
+func reportGap(b *testing.B, fig *simbench.Figure, over, under string, threads int) {
+	b.Helper()
+	var o, u float64
+	for _, s := range fig.Series {
+		if v, ok := s.At(threads); ok {
+			switch s.Name {
+			case over:
+				o = v
+			case under:
+				u = v
+			}
+		}
+	}
+	if u > 0 {
+		b.ReportMetric(stats.Speedup(o, u), metricName(over)+"_vs_"+metricName(under)+"_%")
+		b.ReportMetric(o, metricName(over)+"_ops/us")
+		b.ReportMetric(u, metricName(under)+"_ops/us")
+	}
+}
+
+func BenchmarkFig06KVMapThroughput(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		f6, _, _ := simbench.Fig060708(sc)
+		if i == b.N-1 {
+			reportGap(b, &f6, "CNA", "MCS", 36)
+		}
+	}
+}
+
+func BenchmarkFig07LLCMissRate(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		_, f7, _ := simbench.Fig060708(sc)
+		if i == b.N-1 {
+			var mcs, cna float64
+			for _, s := range f7.Series {
+				if v, ok := s.At(36); ok {
+					switch s.Name {
+					case "MCS":
+						mcs = v
+					case "CNA":
+						cna = v
+					}
+				}
+			}
+			b.ReportMetric(mcs, "MCS_misses/op")
+			b.ReportMetric(cna, "CNA_misses/op")
+		}
+	}
+}
+
+func BenchmarkFig08Fairness(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		_, _, f8 := simbench.Fig060708(sc)
+		if i == b.N-1 {
+			for _, s := range f8.Series {
+				if v, ok := s.At(36); ok {
+					b.ReportMetric(v, metricName(s.Name)+"_fairness")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig09ExternalWork(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig := simbench.Fig09(sc)
+		if i == b.N-1 {
+			reportGap(b, &fig, "CNA", "MCS", 36)
+			reportGap(b, &fig, "CNA (opt)", "CNA", 2)
+		}
+	}
+}
+
+func BenchmarkFig10FourSocket(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig := simbench.Fig10(sc)
+		if i == b.N-1 {
+			reportGap(b, &fig, "CNA", "MCS", 36)
+		}
+	}
+}
+
+func BenchmarkFig11LevelDB(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		a, bb := simbench.Fig11(sc)
+		if i == b.N-1 {
+			reportGap(b, &a, "CNA", "MCS", 36)
+			reportGap(b, &bb, "CNA", "MCS", 36)
+		}
+	}
+}
+
+func BenchmarkFig12Kyoto(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig := simbench.Fig12(sc)
+		if i == b.N-1 {
+			reportGap(b, &fig, "CNA", "MCS", 36)
+		}
+	}
+}
+
+func BenchmarkFig13Locktorture2S(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fa, fb := simbench.Fig13(sc)
+		if i == b.N-1 {
+			reportGap(b, &fa, "CNA", "stock", 36)
+			reportGap(b, &fb, "CNA", "stock", 36)
+		}
+	}
+}
+
+func BenchmarkFig14Locktorture4S(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fa, _ := simbench.Fig14(sc)
+		if i == b.N-1 {
+			reportGap(b, &fa, "CNA", "stock", 36)
+		}
+	}
+}
+
+func BenchmarkFig15WillItScale(b *testing.B) {
+	sc := benchScale()
+	sc.Counts2S = []int{1, 36}
+	for i := 0; i < b.N; i++ {
+		figs := simbench.Fig15(sc)
+		if i == b.N-1 {
+			for j := range figs {
+				reportGap(b, &figs[j], "CNA", "stock", 36)
+			}
+		}
+	}
+}
+
+func BenchmarkTable1Contention(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		_ = simbench.TableOne(sc, 16)
+	}
+}
+
+// ---- Real-lock wall-clock latency (single-thread row of Figure 6) ----
+
+func BenchmarkUncontendedMCS(b *testing.B) {
+	l := locks.NewMCS(1)
+	th := locks.NewThread(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Lock(th)
+		l.Unlock(th)
+	}
+}
+
+func BenchmarkUncontendedCNA(b *testing.B) {
+	l := core.New(1)
+	th := locks.NewThread(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Lock(th)
+		l.Unlock(th)
+	}
+}
+
+func BenchmarkUncontendedQSpinStock(b *testing.B) {
+	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyStock)
+	var l qspin.SpinLock
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Lock(&l, 0)
+		l.Unlock()
+	}
+}
+
+func BenchmarkUncontendedQSpinCNA(b *testing.B) {
+	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyCNA)
+	var l qspin.SpinLock
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Lock(&l, 0)
+		l.Unlock()
+	}
+}
+
+// BenchmarkMemsimEventRate measures the simulator's event throughput —
+// the cost driver of cmd/reproduce.
+func BenchmarkMemsimEventRate(b *testing.B) {
+	s := memsim.New(numa.TwoSocketXeonE5(), memsim.DefaultCosts2S())
+	w := s.NewWord(0)
+	s.Spawn(0, func(th *memsim.T) {
+		for i := 0; i < b.N; i++ {
+			th.Load(w)
+		}
+	})
+	b.ResetTimer()
+	s.Run()
+}

@@ -1,0 +1,63 @@
+// Command kyotobench is the kccachetest-style driver for the kyoto cache
+// DB (Section 7.1.3): the wicked mixed workload over a fixed key range,
+// fixed-duration runs, under MCS or CNA slot locks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/kyoto"
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+func main() {
+	threadsList := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	dur := flag.Duration("duration", 200*time.Millisecond, "measured interval")
+	repeats := flag.Int("repeats", 3, "runs to average")
+	keyRange := flag.Int("keyrange", 1<<20, "fixed key range (the paper pins 10M)")
+	slots := flag.Int("slots", 1, "hash slots (1 concentrates contention like the interposed mutex)")
+	useMCS := flag.Bool("mcs", false, "use MCS instead of CNA")
+	flag.Parse()
+
+	topo := numa.TwoSocketXeonE5()
+	var counts []int
+	for _, s := range strings.Split(*threadsList, ",") {
+		var n int
+		fmt.Sscanf(strings.TrimSpace(s), "%d", &n)
+		if n >= 1 {
+			counts = append(counts, n)
+		}
+	}
+
+	name := "kyoto/CNA"
+	workload := func(threads int) func(*locks.Thread, int) {
+		var mk func() locks.Mutex
+		if *useMCS {
+			mk = func() locks.Mutex { return locks.NewMCS(threads) }
+		} else {
+			arena := core.NewArena(threads)
+			mk = func() locks.Mutex { return core.NewWithArena(arena, core.DefaultOptions()) }
+		}
+		db := kyoto.New(*slots, mk)
+		w := kyoto.Wicked{KeyRange: *keyRange, ValueSize: 16}
+		scratch := make([]byte, w.ValueSize)
+		return func(t *locks.Thread, op int) { w.Op(db, t, scratch) }
+	}
+	if *useMCS {
+		name = "kyoto/MCS"
+	}
+
+	results := harness.Sweep(harness.Config{
+		Name:     name,
+		Topo:     topo,
+		Duration: *dur,
+		Repeats:  *repeats,
+	}, counts, workload)
+	fmt.Print(harness.FormatResults(results))
+}

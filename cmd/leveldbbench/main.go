@@ -1,0 +1,82 @@
+// Command leveldbbench is the db_bench-style driver for the minikv
+// store (Section 7.1.2): fill a database, then run readrandom for a
+// fixed duration under the chosen lock, with the pre-filled and empty
+// configurations of Figure 11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/minikv"
+	"repro/internal/numa"
+)
+
+func main() {
+	threadsList := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	dur := flag.Duration("duration", 200*time.Millisecond, "measured interval")
+	repeats := flag.Int("repeats", 3, "runs to average")
+	entries := flag.Int("entries", 100_000, "database size for the pre-filled mode")
+	empty := flag.Bool("empty", false, "run the empty-database mode of Figure 11(b)")
+	useMCS := flag.Bool("mcs", false, "use MCS instead of CNA for all locks")
+	flag.Parse()
+
+	topo := numa.TwoSocketXeonE5()
+	var counts []int
+	for _, s := range strings.Split(*threadsList, ",") {
+		var n int
+		fmt.Sscanf(strings.TrimSpace(s), "%d", &n)
+		if n >= 1 {
+			counts = append(counts, n)
+		}
+	}
+
+	name := "leveldb/CNA"
+	mkLock := func(threads int) (locks.Mutex, func() locks.Mutex) {
+		arena := core.NewArena(threads)
+		return core.NewWithArena(arena, core.DefaultOptions()),
+			func() locks.Mutex { return core.NewWithArena(arena, core.DefaultOptions()) }
+	}
+	if *useMCS {
+		name = "leveldb/MCS"
+		mkLock = func(threads int) (locks.Mutex, func() locks.Mutex) {
+			return locks.NewMCS(threads), func() locks.Mutex { return locks.NewMCS(threads) }
+		}
+	}
+	mode := "prefilled"
+	if *empty {
+		mode = "empty"
+	}
+
+	workload := func(threads int) func(*locks.Thread, int) {
+		global, mkShard := mkLock(threads)
+		opts := minikv.Options{GlobalLock: global}
+		keyRange := *entries
+		if !*empty {
+			opts.CacheShards = 16
+			opts.CacheCapacity = *entries / 4
+			opts.MkShardLock = mkShard
+		} else {
+			keyRange = 16 // "an empty database": searches find nothing
+		}
+		db := minikv.Open(opts)
+		setup := locks.NewThread(0, 0)
+		if !*empty {
+			db.FillSequential(setup, *entries)
+		}
+		return func(t *locks.Thread, op int) { db.ReadRandom(t, keyRange) }
+	}
+
+	results := harness.Sweep(harness.Config{
+		Name:     name + "/" + mode,
+		Topo:     topo,
+		Duration: *dur,
+		Repeats:  *repeats,
+	}, counts, workload)
+	fmt.Print(harness.FormatResults(results))
+}

@@ -1,0 +1,35 @@
+// Command topology prints the virtual NUMA topologies and thread
+// placements used throughout the reproduction, for sanity-checking
+// experiment configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/numa"
+)
+
+func main() {
+	workers := flag.Int("workers", 8, "workers to place")
+	compact := flag.Bool("compact", false, "use compact placement instead of spread")
+	flag.Parse()
+
+	for _, topo := range []numa.Topology{numa.TwoSocketXeonE5(), numa.FourSocketXeonE7()} {
+		fmt.Println(topo)
+		n := *workers
+		if n > topo.NumCPUs() {
+			n = topo.NumCPUs()
+		}
+		policy := numa.Spread
+		if *compact {
+			policy = numa.Compact
+		}
+		p := numa.NewPlacement(topo, n, policy)
+		fmt.Printf("  placement (%d workers): per-socket counts %v\n", n, p.PerSocketCounts())
+		for w := 0; w < n && w < 16; w++ {
+			fmt.Printf("    worker %2d -> cpu %3d (socket %d)\n", w, p.CPUOf(w), p.SocketOf(w))
+		}
+		fmt.Println()
+	}
+}

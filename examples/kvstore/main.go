@@ -1,0 +1,48 @@
+// kvstore: the paper's Section 7.1.1 scenario as an application — a
+// key-value map (AVL tree) under one lock, hammered by a mixed workload,
+// comparing MCS and CNA end to end and printing throughput plus the
+// paper's fairness factor.
+//
+// Run with: go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/harness"
+	"repro/internal/kvmap"
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+func main() {
+	topo := numa.TwoSocketXeonE5()
+	counts := []int{1, 2, 4, 8}
+
+	mkWorkload := func(mk func(threads int) repro.Mutex) harness.Workload {
+		return func(threads int) func(*locks.Thread, int) {
+			m := kvmap.NewMap(mk(threads))
+			setup := repro.NewThread(0, 0)
+			m.Prefill(setup, 1024, 1)
+			w := kvmap.DefaultWorkload() // 80% lookups / 20% updates
+			return func(t *locks.Thread, op int) { w.Op(m, t) }
+		}
+	}
+
+	var results []harness.Result
+	for name, mk := range map[string]func(int) repro.Mutex{
+		"kv/MCS": func(n int) repro.Mutex { return repro.NewMCS(n) },
+		"kv/CNA": func(n int) repro.Mutex { return repro.NewCNA(repro.NewArena(n)) },
+	} {
+		results = append(results, harness.Sweep(harness.Config{
+			Name:     name,
+			Topo:     topo,
+			Duration: 100 * time.Millisecond,
+			Repeats:  2,
+		}, counts, mkWorkload(mk))...)
+	}
+	fmt.Print(harness.FormatResults(results))
+	fmt.Println("\n(real-concurrency run on this host; paper-shaped NUMA curves: cmd/reproduce)")
+}

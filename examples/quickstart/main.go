@@ -1,0 +1,48 @@
+// Quickstart: protect a shared counter with a CNA lock.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro"
+)
+
+func main() {
+	const workers = 8
+	const itersPerWorker = 10000
+
+	// A Thread carries a worker's identity: a dense id and the NUMA
+	// socket it runs on. Here we pretend workers alternate between two
+	// sockets, like unpinned threads on a 2-socket box.
+	topo := repro.TwoSocketXeonE5()
+
+	// One arena of queue nodes serves any number of CNA locks.
+	arena := repro.NewArena(workers)
+	lock := repro.NewCNA(arena)
+
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := repro.NewThread(w, topo.SocketOf(w))
+			for i := 0; i < itersPerWorker; i++ {
+				lock.Lock(th)
+				counter++
+				lock.Unlock(th)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Printf("counter = %d (want %d)\n", counter, workers*itersPerWorker)
+	local, remote := lock.Stats().Handover.Counts()
+	fmt.Printf("lock handovers: %d local, %d remote (%.1f%% remote)\n",
+		local, remote, lock.Stats().Handover.RemoteFraction()*100)
+	fmt.Printf("secondary-queue moves: %d, flushes: %d\n",
+		lock.Stats().SecondaryMoves, lock.Stats().Flushes)
+}

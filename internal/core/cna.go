@@ -1,0 +1,381 @@
+// Package core implements CNA, the compact NUMA-aware lock that is the
+// paper's contribution (Dice & Kogan, "Compact NUMA-Aware Locks",
+// EuroSys 2019).
+//
+// CNA is a variant of the MCS queue lock. Like MCS, the entire shared
+// state of the lock is one word — a pointer to the tail of the waiters'
+// queue — and acquisition performs a single atomic exchange. Unlike MCS,
+// the unlock path partitions waiters into two queues: the main queue,
+// holding threads on the current holder's socket (plus new arrivals), and
+// a secondary queue holding threads on other sockets. The releasing
+// holder scans the main queue for a same-socket successor, detaches any
+// skipped remote waiters onto the secondary queue, and passes ownership —
+// so the lock (and the data the critical section touches) stays on one
+// socket for long stretches.
+//
+// The secondary queue costs no extra lock state: the pointer to its head
+// rides in the successor's spin field (the word a waiter spins on), and
+// the pointer to its tail lives in the secondary head's secTail field.
+// Long-term fairness comes from flushing the secondary queue back into
+// the main queue with small probability on each handover
+// (keep_lock_local, THRESHOLD = 0xffff in the paper).
+//
+// # Differences from the paper's C pseudo-code
+//
+// The C code stores 0, 1, or a node pointer in the spin field, relying on
+// valid pointers never equalling 1. Go's garbage collector must always
+// see real pointers, so spin is an atomic.Pointer[Node] and the value 1
+// is represented by a package-level sentinel node. The mapping is:
+//
+//	C pseudo-code          this package
+//	me->spin == 0          spin.Load() == nil        (still waiting)
+//	me->spin == 1          spin.Load() == granted    (lock held, secondary queue empty)
+//	me->spin  > 1          any other non-nil value   (lock held, points at secondary head)
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/locks"
+	"repro/internal/spinwait"
+)
+
+// granted is the sentinel standing for the pseudo-code's spin value 1:
+// the lock has been handed to this node's owner and the secondary queue
+// is empty. Its fields are never accessed.
+var granted = &Node{}
+
+// Node is a CNA queue node. As in MCS, nodes are owned by threads, reused
+// across acquisitions, and carried (implicitly, via the Thread's nesting
+// slot) from Lock to Unlock. A node is one cache line:
+// cf. the paper's cna_node_t {spin, socket, secTail, next}.
+type Node struct {
+	// spin is the word the owner waits on; see the package comment for
+	// its three-valued meaning.
+	spin atomic.Pointer[Node]
+	// socket is the owner's NUMA node, or -1 when the owner entered an
+	// empty queue and never recorded it (the uncontended fast path skips
+	// the lookup, which is why CNA matches MCS single-thread performance).
+	socket int32
+	// secTail, meaningful only in a secondary-queue head, points at the
+	// secondary queue's last node so appending and flushing are O(1).
+	secTail atomic.Pointer[Node]
+	// next is the MCS-style link to the queue successor.
+	next atomic.Pointer[Node]
+	_    [2]uint64 // pad to a cache line together with the fields above
+}
+
+// Options tune the CNA policy knobs described in Sections 5 and 6.
+type Options struct {
+	// KeepLocalMask is the paper's THRESHOLD: on each contended handover
+	// the holder draws a pseudo-random number and keeps the lock on its
+	// socket iff draw & KeepLocalMask != 0. The default 0xffff flushes
+	// the secondary queue with probability 1/65536. A mask of 0 disables
+	// NUMA-awareness entirely, reducing CNA to exact MCS FIFO order.
+	KeepLocalMask uint64
+	// ShuffleReduction enables the Section 6 optimisation: when the
+	// secondary queue is empty, hand the lock to the immediate successor
+	// (skipping the successor scan) with probability
+	// ShuffleMask/(ShuffleMask+1).
+	ShuffleReduction bool
+	// ShuffleMask is the paper's THRESHOLD2 (default 0xff).
+	ShuffleMask uint64
+	// FairnessCountdown enables the Section 6 optimisation of the
+	// keep_lock_local policy: "instead of drawing a pseudo-random number
+	// in every invocation of keep_lock_local, a thread can store the
+	// drawn number in a thread-local variable and decrement it with
+	// every lock handover", redrawing when it reaches zero. The expected
+	// flush rate is unchanged; the per-handover PRNG call disappears.
+	FairnessCountdown bool
+}
+
+// DefaultOptions returns the paper's configuration: THRESHOLD = 0xffff,
+// shuffle reduction off.
+func DefaultOptions() Options {
+	return Options{KeepLocalMask: 0xffff, ShuffleReduction: false, ShuffleMask: 0xff}
+}
+
+// OptimizedOptions returns the "CNA (opt)" configuration evaluated in
+// Figures 9 and 11: shuffle reduction on with THRESHOLD2 = 0xff.
+func OptimizedOptions() Options {
+	o := DefaultOptions()
+	o.ShuffleReduction = true
+	return o
+}
+
+// Stats are CNA-specific counters, maintained by the lock holder (so they
+// need no atomics) and meaningful only while the lock is idle.
+type Stats struct {
+	// Handover counts where ownership travelled.
+	Handover locks.HandoverCounter
+	// SecondaryMoves is the total number of nodes moved from the main to
+	// the secondary queue.
+	SecondaryMoves uint64
+	// QueueAlterations counts unlock operations that restructured the
+	// main queue (the statistic behind the paper's shuffle-reduction
+	// discussion: "we collected statistics on how many times the main
+	// waiting queue is altered").
+	QueueAlterations uint64
+	// Flushes counts secondary→main queue transfers (both the
+	// empty-main-queue case and the fairness case).
+	Flushes uint64
+}
+
+// Arena is the per-thread node storage backing one or more CNA locks.
+// Because a thread occupies at most MaxNesting queue nodes at a time —
+// one per nesting level, regardless of how many distinct locks exist —
+// a single Arena serves any number of Lock instances, exactly like the
+// Linux kernel's four statically preallocated per-CPU qspinlock nodes
+// serve every spinlock in the system. This is what makes CNA deployable
+// where "it is prohibitively expensive to store a separate lock per
+// node" (Bronson et al., quoted in the paper): a million CNA locks cost
+// a million words plus one shared Arena.
+type Arena struct {
+	nodes [][locks.MaxNesting]Node
+}
+
+// NewArena returns an Arena for threads with IDs below maxThreads.
+func NewArena(maxThreads int) *Arena {
+	return &Arena{nodes: make([][locks.MaxNesting]Node, maxThreads)}
+}
+
+// MaxThreads reports the thread-ID bound the arena was built for.
+func (a *Arena) MaxThreads() int { return len(a.nodes) }
+
+// Lock is a CNA lock. Its shared state — the only memory other threads'
+// hot paths touch — is the single tail word; the remaining fields are
+// configuration, statistics and a pointer to the (shareable) node arena.
+type Lock struct {
+	tail  atomic.Pointer[Node]
+	opts  Options
+	arena *Arena
+	stats Stats
+
+	// countdown holds per-thread remaining local handovers when
+	// FairnessCountdown is on. Indexed by thread ID and touched only by
+	// the lock holder, so it needs no atomics; padded to avoid false
+	// sharing between consecutively numbered threads.
+	countdown []paddedCounter
+
+	// forceKeepLocal overrides keepLockLocal for deterministic tests:
+	// 0 = use the PRNG policy, +1 = always keep local, -1 = never.
+	forceKeepLocal int
+}
+
+type paddedCounter struct {
+	n uint64
+	_ [7]uint64
+}
+
+// New returns a CNA lock with the paper's default options and a private
+// arena, usable by threads with IDs below maxThreads.
+func New(maxThreads int) *Lock { return NewWithOptions(maxThreads, DefaultOptions()) }
+
+// NewWithOptions returns a CNA lock with a private arena and explicit
+// policy knobs.
+func NewWithOptions(maxThreads int, opts Options) *Lock {
+	return NewWithArena(NewArena(maxThreads), opts)
+}
+
+// NewWithArena returns a CNA lock that draws queue nodes from a shared
+// arena. Use this form when instantiating many locks (per-node locks in
+// a data structure, per-inode locks, ...).
+func NewWithArena(arena *Arena, opts Options) *Lock {
+	l := &Lock{
+		opts:  opts,
+		arena: arena,
+		stats: Stats{Handover: locks.NewHandoverCounter()},
+	}
+	if opts.FairnessCountdown {
+		l.countdown = make([]paddedCounter, arena.MaxThreads())
+	}
+	return l
+}
+
+// Name implements locks.Mutex.
+func (l *Lock) Name() string {
+	if l.opts.ShuffleReduction {
+		return "CNA (opt)"
+	}
+	return "CNA"
+}
+
+// Stats exposes the lock's counters. Read only while the lock is idle.
+func (l *Lock) Stats() *Stats { return &l.stats }
+
+// Lock acquires the lock for t. This is Figure 3 of the paper: a single
+// atomic exchange on the tail, then local spinning on the node.
+func (l *Lock) Lock(t *locks.Thread) {
+	me := &l.arena.nodes[t.ID][t.AcquireSlot()]
+	l.lockNode(me, t)
+}
+
+// Unlock releases the lock for t (Figure 4 of the paper).
+func (l *Lock) Unlock(t *locks.Thread) {
+	me := &l.arena.nodes[t.ID][t.ReleaseSlot()]
+	l.unlockNode(me, t)
+}
+
+// lockNode runs the acquisition protocol on an explicit node.
+func (l *Lock) lockNode(me *Node, t *locks.Thread) {
+	me.next.Store(nil)
+	me.socket = -1
+	me.spin.Store(nil)
+
+	// Add myself to the main queue — the only atomic in the lock path.
+	tail := l.tail.Swap(me)
+	if tail == nil {
+		// No one there. Mark the spin field so the unlock path can tell
+		// "no secondary queue" (the pseudo-code's me->spin = 1).
+		me.spin.Store(granted)
+		l.stats.Handover.Record(t.Socket)
+		return
+	}
+	// Someone there; record our socket and link in. The socket lookup is
+	// deliberately on the contended path only.
+	me.socket = int32(t.Socket)
+	tail.next.Store(me)
+	// Wait for the lock to become available.
+	var s spinwait.Spinner
+	for me.spin.Load() == nil {
+		s.Pause()
+	}
+	l.stats.Handover.Record(t.Socket)
+}
+
+// unlockNode runs the release protocol on an explicit node.
+func (l *Lock) unlockNode(me *Node, t *locks.Thread) {
+	next := me.next.Load()
+	if next == nil {
+		// No linked successor in the main queue.
+		if sp := me.spin.Load(); sp == granted {
+			// Secondary queue empty too: try to swing the tail to nil,
+			// leaving the lock completely free.
+			if l.tail.CompareAndSwap(me, nil) {
+				return
+			}
+		} else {
+			// Main queue looks empty but the secondary queue is not: try
+			// to make the secondary queue the new main queue and hand the
+			// lock to its head.
+			secHead := sp
+			if l.tail.CompareAndSwap(me, secHead.secTail.Load()) {
+				l.stats.Flushes++
+				secHead.spin.Store(granted)
+				return
+			}
+		}
+		// The CAS failed: a thread swapped the tail after our next-load
+		// and is about to link in. Wait for the successor to appear.
+		var s spinwait.Spinner
+		for next = me.next.Load(); next == nil; next = me.next.Load() {
+			s.Pause()
+		}
+	}
+
+	// Shuffle reduction (Section 6): under light contention, with an
+	// empty secondary queue, skip the successor scan with high
+	// probability and behave like MCS.
+	if l.opts.ShuffleReduction && me.spin.Load() == granted &&
+		t.RNG.Next()&l.opts.ShuffleMask != 0 {
+		next.spin.Store(granted)
+		return
+	}
+
+	// Determine the next lock holder and pass the lock via its spin field.
+	var succ *Node
+	if l.keepLockLocal(t) {
+		succ = l.findSuccessor(me, t)
+	}
+	switch {
+	case succ != nil:
+		// Hand over on-socket, forwarding the secondary-queue head (or
+		// the sentinel) that rides in our spin field. The value stored is
+		// always non-nil: an empty-queue entrant set it to granted.
+		succ.spin.Store(me.spin.Load())
+	case me.spin.Load() != granted:
+		// No same-socket successor (or fairness triggered): splice the
+		// secondary queue in front of our main-queue successor and hand
+		// the lock to the secondary head. Its secTail needs no clearing —
+		// the new holder never reads it (cf. Figure 1(g)).
+		secHead := me.spin.Load()
+		secHead.secTail.Load().next.Store(next)
+		l.stats.Flushes++
+		secHead.spin.Store(granted)
+	default:
+		// Secondary queue empty: plain MCS handover.
+		next.spin.Store(granted)
+	}
+}
+
+// keepLockLocal implements the paper's long-term fairness policy: keep
+// the lock on this socket unless a low-probability draw says otherwise.
+func (l *Lock) keepLockLocal(t *locks.Thread) bool {
+	switch l.forceKeepLocal {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	if l.opts.FairnessCountdown {
+		c := &l.countdown[t.ID]
+		if c.n == 0 {
+			// Redraw the budget; returning false here is the "once the
+			// number reaches 0, ... have keep_lock_local return zero"
+			// step of Section 6.
+			c.n = t.RNG.Next() & l.opts.KeepLocalMask
+			return false
+		}
+		c.n--
+		return true
+	}
+	return t.RNG.Next()&l.opts.KeepLocalMask != 0
+}
+
+// findSuccessor is Figure 5 of the paper: scan the main queue for a
+// waiter on my socket; move everything skipped onto the secondary queue.
+// Returns nil (without touching the queues) if no such waiter is linked.
+func (l *Lock) findSuccessor(me *Node, t *locks.Thread) *Node {
+	next := me.next.Load()
+	mySocket := me.socket
+	if mySocket == -1 {
+		mySocket = int32(t.Socket)
+	}
+	// Check if my immediate successor is on the same socket.
+	if next.socket == mySocket {
+		return next
+	}
+	secHead := next
+	secTail := next
+	cur := next.next.Load()
+	moved := uint64(1)
+
+	// Traverse the main queue.
+	for cur != nil {
+		if cur.socket == mySocket {
+			// Move [secHead, secTail] to the secondary queue: append to
+			// its tail if it exists, otherwise it becomes the queue and
+			// its head pointer rides in our spin field.
+			if sp := me.spin.Load(); sp != granted {
+				sp.secTail.Load().next.Store(secHead)
+			} else {
+				me.spin.Store(secHead)
+			}
+			secTail.next.Store(nil)
+			l.spinValue(me).secTail.Store(secTail)
+			l.stats.QueueAlterations++
+			l.stats.SecondaryMoves += moved
+			return cur
+		}
+		secTail = cur
+		moved++
+		cur = cur.next.Load()
+	}
+	return nil
+}
+
+// spinValue returns the holder's current spin word (never nil for a
+// holder; the pseudo-code dereferences me->spin the same way).
+func (l *Lock) spinValue(me *Node) *Node { return me.spin.Load() }
+
+var _ locks.Mutex = (*Lock)(nil)

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestSharedStateIsOneWord pins the paper's central claim: the CNA
+// lock's shared state — the memory other threads' lock/unlock hot paths
+// touch — is a single word (the queue-tail pointer), regardless of the
+// socket count. The remaining Lock fields are holder-private
+// configuration/statistics, and the node Arena is shared across any
+// number of locks.
+func TestSharedStateIsOneWord(t *testing.T) {
+	var l Lock
+	if got := unsafe.Sizeof(l.tail); got != unsafe.Sizeof(uintptr(0)) {
+		t.Fatalf("tail word is %d bytes, want pointer-sized (%d)",
+			got, unsafe.Sizeof(uintptr(0)))
+	}
+}
+
+// TestNodeFitsOneCacheLine: a queue node must not straddle cache lines
+// (the paper's cna_node_t with padding).
+func TestNodeFitsOneCacheLine(t *testing.T) {
+	if got := unsafe.Sizeof(Node{}); got > 64 {
+		t.Fatalf("Node is %d bytes, want <= 64", got)
+	}
+}
+
+// TestArenaScalesWithThreadsNotLocks: arena memory is independent of the
+// number of locks sharing it.
+func TestArenaScalesWithThreadsNotLocks(t *testing.T) {
+	arena := NewArena(4)
+	before := len(arena.nodes)
+	for i := 0; i < 100; i++ {
+		NewWithArena(arena, DefaultOptions())
+	}
+	if len(arena.nodes) != before {
+		t.Fatal("creating locks grew the arena")
+	}
+}

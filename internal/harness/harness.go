@@ -1,0 +1,162 @@
+// Package harness runs fixed-duration, real-concurrency benchmarks over
+// the real lock implementations, the way the paper's user-space
+// experiments run: spawn N workers, let them hammer a workload for a
+// measured interval, count per-thread operations, repeat and average.
+//
+// On this reproduction's host the absolute numbers say little about NUMA
+// (virtual topology, single core); the real-mode harness exists to
+// exercise the production lock code end to end, to measure fairness and
+// handover-locality statistics of the real implementations, and to serve
+// as the perf-regression harness for the library itself. The paper's
+// figures are regenerated in virtual time by internal/simbench.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/numa"
+	"repro/internal/stats"
+)
+
+// Workload is a factory for per-run benchmark state: it returns the
+// per-thread operation function. Called once per run so repetitions are
+// independent.
+type Workload func(threads int) func(t *locks.Thread, op int)
+
+// Config describes a benchmark run.
+type Config struct {
+	// Name labels the run in reports.
+	Name string
+	// Topo provides the virtual sockets workers are placed on.
+	Topo numa.Topology
+	// Placement selects the layout (default Spread, like the paper's
+	// unpinned threads on an otherwise idle machine).
+	Placement numa.Policy
+	// Threads is the worker count.
+	Threads int
+	// Duration is the measured interval per run.
+	Duration time.Duration
+	// Warmup runs (untimed) before measurement begins.
+	Warmup time.Duration
+	// Repeats averages this many runs (the paper uses 5).
+	Repeats int
+}
+
+// Result is an averaged benchmark outcome.
+type Result struct {
+	Name       string
+	Threads    int
+	Throughput float64 // ops per microsecond, averaged over repeats
+	RelStdDev  float64 // relative stddev across repeats
+	Fairness   float64 // fairness factor of the last run
+	TotalOps   uint64  // ops of the last run
+}
+
+// Run executes the configured benchmark.
+func Run(cfg Config, workload Workload) Result {
+	if cfg.Repeats < 1 {
+		cfg.Repeats = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 100 * time.Millisecond
+	}
+	place := numa.NewPlacement(cfg.Topo, cfg.Threads, cfg.Placement)
+
+	var throughputs []float64
+	var lastOps []uint64
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		op := workload(cfg.Threads)
+		opsPerThread := make([]uint64, cfg.Threads)
+
+		var started, stop atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				th := locks.NewThread(w, place.SocketOf(w))
+				// Warmup phase: run ops but discard counts.
+				n := 0
+				for !started.Load() {
+					op(th, n)
+					n++
+				}
+				var count uint64
+				for !stop.Load() {
+					op(th, n)
+					n++
+					count++
+				}
+				opsPerThread[w] = count
+			}(w)
+		}
+		time.Sleep(cfg.Warmup)
+		started.Store(true)
+		start := time.Now()
+		time.Sleep(cfg.Duration)
+		stop.Store(true)
+		elapsed := time.Since(start)
+		wg.Wait()
+
+		var total uint64
+		for _, c := range opsPerThread {
+			total += c
+		}
+		throughputs = append(throughputs, float64(total)/(float64(elapsed.Nanoseconds())/1000))
+		lastOps = opsPerThread
+	}
+
+	var total uint64
+	for _, c := range lastOps {
+		total += c
+	}
+	return Result{
+		Name:       cfg.Name,
+		Threads:    cfg.Threads,
+		Throughput: stats.Mean(throughputs),
+		RelStdDev:  stats.RelStdDev(throughputs),
+		Fairness:   stats.FairnessFactor(lastOps),
+		TotalOps:   total,
+	}
+}
+
+// Sweep runs the workload across thread counts and returns a series.
+func Sweep(cfg Config, counts []int, workload Workload) []Result {
+	out := make([]Result, 0, len(counts))
+	for _, n := range counts {
+		c := cfg
+		c.Threads = n
+		out = append(out, Run(c, workload))
+	}
+	return out
+}
+
+// FormatResults renders a result table grouped by benchmark name.
+func FormatResults(results []Result) string {
+	byName := map[string][]Result{}
+	var names []string
+	for _, r := range results {
+		if _, ok := byName[r.Name]; !ok {
+			names = append(names, r.Name)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %14s %10s %10s\n", "benchmark", "threads", "ops/us", "relstddev", "fairness")
+	for _, name := range names {
+		rs := byName[name]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Threads < rs[j].Threads })
+		for _, r := range rs {
+			fmt.Fprintf(&b, "%-14s %8d %14.3f %9.1f%% %10.3f\n",
+				r.Name, r.Threads, r.Throughput, r.RelStdDev*100, r.Fairness)
+		}
+	}
+	return b.String()
+}

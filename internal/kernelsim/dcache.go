@@ -1,0 +1,143 @@
+package kernelsim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/qspin"
+)
+
+// Dentry is a directory-cache entry. Its lockref guards the refcount;
+// for directories the same lock also guards the children map (standing
+// in for the kernel's d_lock/d_subdirs discipline). This is the
+// lockref.lock of Table 1: open1_threads hammers the shared parent
+// directory's dentry from dput, d_alloc and the lockref_get_* helpers.
+type Dentry struct {
+	Name    string
+	Ref     Lockref
+	parent  *Dentry
+	child   map[string]*Dentry // directories only; guarded by Ref.lock
+	inode   *Inode
+	nextIno *atomic.Uint64 // shared inode number allocator
+}
+
+// Kernel is the assembled mini-VFS: one qspin Domain, a dcache root and
+// per-"process" fd tables.
+type Kernel struct {
+	Domain  *qspin.Domain
+	Root    *Dentry
+	nextIno atomic.Uint64
+}
+
+// NewKernel builds a VFS over the given spinlock domain.
+func NewKernel(d *qspin.Domain) *Kernel {
+	k := &Kernel{Domain: d}
+	k.Root = &Dentry{
+		Name:    "/",
+		child:   make(map[string]*Dentry),
+		nextIno: &k.nextIno,
+	}
+	k.Root.Ref.count = 1
+	k.Root.inode = &Inode{Ino: k.nextIno.Add(1)}
+	return k
+}
+
+// LookupOrCreateDir finds or creates a directory dentry under parent
+// (mkdir -p for one component).
+func (k *Kernel) LookupOrCreateDir(cpu int, parent *Dentry, name string) *Dentry {
+	d := k.Domain
+	d.Lock(&parent.Ref.lock, cpu)
+	if c, ok := parent.child[name]; ok {
+		parent.Ref.lock.Unlock()
+		return c
+	}
+	c := &Dentry{
+		Name:    name,
+		parent:  parent,
+		child:   make(map[string]*Dentry),
+		inode:   &Inode{Ino: k.nextIno.Add(1)},
+		nextIno: &k.nextIno,
+	}
+	c.Ref.count = 1
+	parent.child[name] = c
+	parent.Ref.lock.Unlock()
+	return c
+}
+
+// Open creates (or reopens) the named file in dir and installs it in the
+// process's fd table, following the open(2) hot path that open1_threads
+// stresses:
+//
+//  1. lockref_get_not_dead on the directory dentry (path walk ref),
+//  2. d_alloc/d_lookup of the child under the directory's lock,
+//  3. lockref_get_not_zero on the file dentry,
+//  4. __alloc_fd under files_struct.file_lock.
+func (k *Kernel) Open(cpu int, fs *FilesStruct, dir *Dentry, name string) (int, error) {
+	d := k.Domain
+	if !dir.Ref.GetNotDead(d, cpu) {
+		return -1, fmt.Errorf("kernelsim: directory %q is dead", dir.Name)
+	}
+
+	// d_lookup / d_alloc under the directory dentry lock.
+	d.Lock(&dir.Ref.lock, cpu)
+	de, ok := dir.child[name]
+	if !ok {
+		de = &Dentry{
+			Name:    name,
+			parent:  dir,
+			inode:   &Inode{Ino: k.nextIno.Add(1)},
+			nextIno: &k.nextIno,
+		}
+		de.Ref.count = 1
+		dir.child[name] = de
+	}
+	dir.Ref.lock.Unlock()
+
+	if !de.Ref.GetNotZero(d, cpu) {
+		dir.Ref.Put(d, cpu)
+		return -1, fmt.Errorf("kernelsim: dentry %q being torn down", name)
+	}
+
+	file := &File{inode: de.inode, dentry: de}
+	fd, err := fs.AllocFD(d, cpu, file)
+	if err != nil {
+		de.Ref.Put(d, cpu)
+		dir.Ref.Put(d, cpu)
+		return -1, err
+	}
+	// The path-walk reference on the directory is dropped once the open
+	// completes (dput).
+	dir.Ref.Put(d, cpu)
+	return fd, nil
+}
+
+// Close releases fd: __close_fd under file_lock, then dput on the file's
+// dentry.
+func (k *Kernel) Close(cpu int, fs *FilesStruct, fd int) error {
+	file, err := fs.CloseFD(k.Domain, cpu, fd)
+	if err != nil {
+		return err
+	}
+	file.dentry.Ref.Put(k.Domain, cpu)
+	return nil
+}
+
+// FcntlSetLk is fcntl(fd, F_SETLK, lk): an fd lookup under
+// files_struct.file_lock followed by posix_lock_inode under flc_lock.
+func (k *Kernel) FcntlSetLk(cpu int, fs *FilesStruct, fd int, lk PosixLock) error {
+	file, err := fs.Lookup(k.Domain, cpu, fd)
+	if err != nil {
+		return err
+	}
+	return file.inode.LockContext().SetLk(k.Domain, cpu, lk)
+}
+
+// FcntlUnlock is fcntl(fd, F_SETLK, F_UNLCK).
+func (k *Kernel) FcntlUnlock(cpu int, fs *FilesStruct, fd int, owner int, start, end uint64) error {
+	file, err := fs.Lookup(k.Domain, cpu, fd)
+	if err != nil {
+		return err
+	}
+	file.inode.LockContext().Unlock(k.Domain, cpu, owner, start, end)
+	return nil
+}

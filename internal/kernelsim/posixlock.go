@@ -1,0 +1,115 @@
+package kernelsim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/qspin"
+)
+
+// LockType is a POSIX record lock type.
+type LockType int
+
+// Read and write record locks (F_RDLCK / F_WRLCK).
+const (
+	ReadLock LockType = iota
+	WriteLock
+)
+
+// PosixLock is one record lock: an owner, a type and a byte range
+// [Start, End] inclusive, like struct file_lock.
+type PosixLock struct {
+	Owner      int // lock owner (process/thread id)
+	Type       LockType
+	Start, End uint64
+}
+
+func (l PosixLock) overlaps(o PosixLock) bool {
+	return l.Start <= o.End && o.Start <= l.End
+}
+
+func (l PosixLock) conflicts(o PosixLock) bool {
+	if l.Owner == o.Owner {
+		return false
+	}
+	if !l.overlaps(o) {
+		return false
+	}
+	return l.Type == WriteLock || o.Type == WriteLock
+}
+
+// FileLockContext is struct file_lock_context: the per-inode list of
+// record locks under flc_lock — the lock Table 1 shows contended from
+// posix_lock_inode in lock2_threads.
+type FileLockContext struct {
+	flcLock qspin.SpinLock
+	posix   []PosixLock
+}
+
+// Inode is a minimal inode: an identity plus its lock context, allocated
+// lazily like the kernel's (locks_get_lock_context).
+type Inode struct {
+	Ino uint64
+	flc atomic.Pointer[FileLockContext]
+}
+
+// LockContext returns the inode's lock context, allocating it on first
+// use.
+func (ino *Inode) LockContext() *FileLockContext {
+	if c := ino.flc.Load(); c != nil {
+		return c
+	}
+	c := &FileLockContext{}
+	if ino.flc.CompareAndSwap(nil, c) {
+		return c
+	}
+	return ino.flc.Load()
+}
+
+// SetLk applies a non-blocking F_SETLK: it acquires flc_lock, checks
+// for conflicts, and installs the lock (merging is elided; unlock
+// removes exact owner ranges). Returns an error on conflict (EAGAIN).
+func (c *FileLockContext) SetLk(d *qspin.Domain, cpu int, lk PosixLock) error {
+	d.Lock(&c.flcLock, cpu)
+	for _, have := range c.posix {
+		if lk.conflicts(have) {
+			c.flcLock.Unlock()
+			return fmt.Errorf("kernelsim: EAGAIN owner %d range [%d,%d]", have.Owner, have.Start, have.End)
+		}
+	}
+	// Replace any same-owner overlapping lock (POSIX upgrade/downgrade).
+	out := c.posix[:0]
+	for _, have := range c.posix {
+		if have.Owner == lk.Owner && have.overlaps(lk) {
+			continue
+		}
+		out = append(out, have)
+	}
+	c.posix = append(out, lk)
+	c.flcLock.Unlock()
+	return nil
+}
+
+// Unlock removes the owner's locks overlapping the range (F_UNLCK,
+// whole-range semantics simplified to removal).
+func (c *FileLockContext) Unlock(d *qspin.Domain, cpu int, owner int, start, end uint64) {
+	d.Lock(&c.flcLock, cpu)
+	probe := PosixLock{Owner: owner, Start: start, End: end}
+	out := c.posix[:0]
+	for _, have := range c.posix {
+		if have.Owner == owner && have.overlaps(probe) {
+			continue
+		}
+		out = append(out, have)
+	}
+	c.posix = out
+	c.flcLock.Unlock()
+}
+
+// Count returns the number of installed locks under flc_lock.
+func (c *FileLockContext) Count(d *qspin.Domain, cpu int) int {
+	d.Lock(&c.flcLock, cpu)
+	n := len(c.posix)
+	c.flcLock.Unlock()
+	return n
+}

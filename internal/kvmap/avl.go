@@ -1,0 +1,213 @@
+// Package kvmap implements the Section 7.1.1 microbenchmark subject: "a
+// simple key-value map implemented on top of an AVL tree protected with
+// a single lock", with insert, remove and lookup operations.
+//
+// The tree itself is a plain sequential AVL tree; Map wraps it with any
+// locks.Mutex, which is exactly how the benchmark exercises the locks
+// under test.
+package kvmap
+
+// avlNode is one tree node.
+type avlNode struct {
+	key         uint64
+	value       uint64
+	left, right *avlNode
+	height      int
+}
+
+// AVL is a sequential AVL tree mapping uint64 keys to uint64 values.
+// It is not safe for concurrent use; see Map for the locked wrapper.
+type AVL struct {
+	root *avlNode
+	size int
+}
+
+// NewAVL returns an empty tree.
+func NewAVL() *AVL { return &AVL{} }
+
+// Len returns the number of keys stored.
+func (t *AVL) Len() int { return t.size }
+
+func height(n *avlNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix(n *avlNode) {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+}
+
+func balance(n *avlNode) int { return height(n.left) - height(n.right) }
+
+func rotateRight(y *avlNode) *avlNode {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	fix(y)
+	fix(x)
+	return x
+}
+
+func rotateLeft(x *avlNode) *avlNode {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	fix(x)
+	fix(y)
+	return y
+}
+
+// rebalance restores the AVL invariant at n after an insert or remove.
+func rebalance(n *avlNode) *avlNode {
+	fix(n)
+	switch b := balance(n); {
+	case b > 1:
+		if balance(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case b < -1:
+		if balance(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Lookup returns the value stored under key.
+func (t *AVL) Lookup(key uint64) (uint64, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.value, true
+		}
+	}
+	return 0, false
+}
+
+// Insert stores value under key, returning whether a new key was added
+// (false means an existing key's value was replaced).
+func (t *AVL) Insert(key, value uint64) bool {
+	var added bool
+	t.root, added = insert(t.root, key, value)
+	if added {
+		t.size++
+	}
+	return added
+}
+
+func insert(n *avlNode, key, value uint64) (*avlNode, bool) {
+	if n == nil {
+		return &avlNode{key: key, value: value, height: 1}, true
+	}
+	var added bool
+	switch {
+	case key < n.key:
+		n.left, added = insert(n.left, key, value)
+	case key > n.key:
+		n.right, added = insert(n.right, key, value)
+	default:
+		n.value = value
+		return n, false
+	}
+	if !added {
+		return n, false
+	}
+	return rebalance(n), true
+}
+
+// Remove deletes key, returning whether it was present.
+func (t *AVL) Remove(key uint64) bool {
+	var removed bool
+	t.root, removed = remove(t.root, key)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func remove(n *avlNode, key uint64) (*avlNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case key < n.key:
+		n.left, removed = remove(n.left, key)
+	case key > n.key:
+		n.right, removed = remove(n.right, key)
+	default:
+		removed = true
+		switch {
+		case n.left == nil:
+			return n.right, true
+		case n.right == nil:
+			return n.left, true
+		default:
+			// Replace with the in-order successor, then delete it from
+			// the right subtree.
+			succ := n.right
+			for succ.left != nil {
+				succ = succ.left
+			}
+			n.key, n.value = succ.key, succ.value
+			n.right, _ = remove(n.right, succ.key)
+		}
+	}
+	if !removed {
+		return n, false
+	}
+	return rebalance(n), true
+}
+
+// checkInvariants verifies AVL balance and ordering; used by tests.
+func (t *AVL) checkInvariants() error {
+	_, err := check(t.root, 0, ^uint64(0), true)
+	return err
+}
+
+type invariantError struct{ msg string }
+
+func (e invariantError) Error() string { return "kvmap: " + e.msg }
+
+func check(n *avlNode, lo, hi uint64, loOpen bool) (int, error) {
+	if n == nil {
+		return 0, nil
+	}
+	if (!loOpen && n.key < lo) || n.key > hi {
+		return 0, invariantError{"key ordering violated"}
+	}
+	hl, err := check(n.left, lo, n.key-1, loOpen)
+	if err != nil {
+		return 0, err
+	}
+	hr, err := check(n.right, n.key+1, hi, false)
+	if err != nil {
+		return 0, err
+	}
+	h := hl
+	if hr > h {
+		h = hr
+	}
+	h++
+	if n.height != h {
+		return 0, invariantError{"stale height"}
+	}
+	if d := hl - hr; d < -1 || d > 1 {
+		return 0, invariantError{"balance factor out of range"}
+	}
+	return h, nil
+}

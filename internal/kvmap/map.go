@@ -1,0 +1,101 @@
+package kvmap
+
+import (
+	"repro/internal/locks"
+	"repro/internal/prng"
+)
+
+// Map is the benchmark's key-value map: an AVL tree protected by a
+// single lock of any algorithm under test.
+type Map struct {
+	lock locks.Mutex
+	tree *AVL
+}
+
+// NewMap wraps an empty tree with the given lock.
+func NewMap(lock locks.Mutex) *Map {
+	return &Map{lock: lock, tree: NewAVL()}
+}
+
+// Lock returns the protecting lock (for statistics).
+func (m *Map) Lock() locks.Mutex { return m.lock }
+
+// Get looks up key under the lock.
+func (m *Map) Get(t *locks.Thread, key uint64) (uint64, bool) {
+	m.lock.Lock(t)
+	v, ok := m.tree.Lookup(key)
+	m.lock.Unlock(t)
+	return v, ok
+}
+
+// Put inserts or updates key under the lock.
+func (m *Map) Put(t *locks.Thread, key, value uint64) bool {
+	m.lock.Lock(t)
+	added := m.tree.Insert(key, value)
+	m.lock.Unlock(t)
+	return added
+}
+
+// Delete removes key under the lock.
+func (m *Map) Delete(t *locks.Thread, key uint64) bool {
+	m.lock.Lock(t)
+	removed := m.tree.Remove(key)
+	m.lock.Unlock(t)
+	return removed
+}
+
+// Len returns the current size under the lock.
+func (m *Map) Len(t *locks.Thread) int {
+	m.lock.Lock(t)
+	n := m.tree.Len()
+	m.lock.Unlock(t)
+	return n
+}
+
+// Prefill inserts roughly half of [0, keyRange) — "the key-value map is
+// pre-initialized to contain roughly half of the key range" — choosing
+// keys pseudo-randomly like the benchmark's warmup.
+func (m *Map) Prefill(t *locks.Thread, keyRange int, seed uint64) {
+	rng := prng.New(seed)
+	target := keyRange / 2
+	for m.tree.Len() < target {
+		m.Put(t, uint64(rng.Intn(keyRange)), rng.Next())
+	}
+}
+
+// Workload is the benchmark's operation mix over a key range: lookups
+// plus updates split evenly between inserts and removes, keys uniform.
+type Workload struct {
+	KeyRange int
+	// UpdatePermille is the update share (200 = the paper's 20%).
+	UpdatePermille int
+	// ExternalWork simulates the non-critical section between map
+	// operations as a pseudo-random-number calculation loop of the given
+	// iteration count (0 disables it).
+	ExternalWork int
+}
+
+// DefaultWorkload is the Figure 6 configuration: key range 1024, 80%
+// lookups, 20% updates, no external work.
+func DefaultWorkload() Workload {
+	return Workload{KeyRange: 1024, UpdatePermille: 200}
+}
+
+// Op performs one benchmark operation for thread t using its PRNG.
+func (w Workload) Op(m *Map, t *locks.Thread) {
+	r := t.RNG.Intn(1000)
+	key := uint64(t.RNG.Intn(w.KeyRange))
+	switch {
+	case r >= w.UpdatePermille:
+		m.Get(t, key)
+	case r%2 == 0:
+		m.Put(t, key, t.RNG.Next())
+	default:
+		m.Delete(t, key)
+	}
+	// External (non-critical) work: a pseudo-random computation loop,
+	// exactly the benchmark's mechanism.
+	for i := 0; i < w.ExternalWork; i++ {
+		_ = t.RNG.Next()
+	}
+}

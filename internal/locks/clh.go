@@ -1,0 +1,68 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"repro/internal/spinwait"
+)
+
+// clhNode is a CLH queue node. Unlike MCS, a releasing thread's node is
+// adopted by its successor, so node ownership rotates through the queue.
+type clhNode struct {
+	// locked is true while the owner holds or waits for the lock.
+	locked atomic.Bool
+	_      [7]uint64 // cache-line padding
+}
+
+// clhSlot is one nesting level's node state for one thread.
+type clhSlot struct {
+	mine *clhNode // node this thread will enqueue next
+	pred *clhNode // predecessor's node, remembered from Lock to Unlock
+}
+
+// CLH is the Craig/Landin/Hagersten queue lock, the other classic local-
+// spin queue lock (the HCLH lock of Luchangco et al. builds its hierarchy
+// from it). Waiters spin on their predecessor's node rather than their
+// own.
+type CLH struct {
+	tail  atomic.Pointer[clhNode]
+	slots [][MaxNesting]clhSlot
+}
+
+// NewCLH returns a CLH lock usable by threads with IDs below maxThreads.
+func NewCLH(maxThreads int) *CLH {
+	l := &CLH{slots: make([][MaxNesting]clhSlot, maxThreads)}
+	for i := range l.slots {
+		for j := range l.slots[i] {
+			l.slots[i][j].mine = &clhNode{}
+		}
+	}
+	// The queue starts with a released sentinel node as the tail.
+	l.tail.Store(&clhNode{})
+	return l
+}
+
+// Lock enqueues t's node and spins on the predecessor's node.
+func (l *CLH) Lock(t *Thread) {
+	slot := &l.slots[t.ID][t.AcquireSlot()]
+	n := slot.mine
+	n.locked.Store(true)
+	pred := l.tail.Swap(n)
+	slot.pred = pred
+	var s spinwait.Spinner
+	for pred.locked.Load() {
+		s.Pause()
+	}
+}
+
+// Unlock releases the lock and adopts the predecessor's node for reuse.
+func (l *CLH) Unlock(t *Thread) {
+	slot := &l.slots[t.ID][t.ReleaseSlot()]
+	n := slot.mine
+	slot.mine = slot.pred // adopt predecessor's (now quiescent) node
+	slot.pred = nil
+	n.locked.Store(false)
+}
+
+// Name implements Mutex.
+func (l *CLH) Name() string { return "CLH" }

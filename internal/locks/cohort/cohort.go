@@ -1,0 +1,125 @@
+// Package cohort implements the Lock Cohorting construction of Dice,
+// Marathe and Shavit (PPoPP 2012 / TOPC 2015), the family of hierarchical
+// NUMA-aware locks the paper compares CNA against.
+//
+// A cohort lock combines a global lock G with one local lock per socket.
+// A thread first acquires its socket's local lock; if the previous local
+// holder passed it the global lock ("cohort passing"), it owns the
+// composite lock immediately, otherwise it also acquires G. On release,
+// if another thread waits on the same socket and the local-handover budget
+// is not exhausted, the holder passes G's ownership through the local
+// lock; otherwise it releases G (and then the local lock), letting another
+// socket in.
+//
+// The construction requires G to be thread-oblivious (acquired by one
+// thread, released by another) and the local locks to support cohort
+// detection (is a same-socket thread waiting?). This matches the paper's
+// description and exposes exactly why such locks need Ω(sockets) space:
+// one padded local lock per socket, plus G.
+package cohort
+
+import (
+	"fmt"
+
+	"repro/internal/locks"
+)
+
+// Global is a thread-oblivious lock usable as the top of the hierarchy.
+type Global interface {
+	Lock(t *locks.Thread)
+	Unlock(t *locks.Thread)
+}
+
+// Local is a socket-level lock supporting cohort passing and detection.
+// The slot argument is the Thread nesting slot reserved by the composite
+// lock; per-thread queue state is indexed by it.
+type Local interface {
+	// Lock acquires the local lock; the return value reports whether the
+	// previous holder passed global ownership to the caller.
+	Lock(t *locks.Thread, slot int) (globalPassed bool)
+	// Unlock releases the local lock. passGlobal tells the next local
+	// acquirer (which must exist if passGlobal is true) that it owns the
+	// global lock.
+	Unlock(t *locks.Thread, slot int, passGlobal bool)
+	// HasWaiter reports whether another thread waits on this local lock.
+	// Only the holder may call it.
+	HasWaiter(t *locks.Thread, slot int) bool
+}
+
+// DefaultMaxLocalPasses bounds consecutive same-socket handovers, the
+// cohort locks' long-term fairness knob. The paper configures all
+// NUMA-aware locks "with similar fairness settings"; 64 is the HMCS
+// paper's default and a common choice for cohort locks.
+const DefaultMaxLocalPasses = 64
+
+// Lock is a cohort lock: a Global plus one Local per socket.
+type Lock struct {
+	name     string
+	global   Global
+	local    []Local
+	maxPass  int
+	passes   []paddedCount // consecutive local passes per socket
+	sockets  int
+	handover locks.HandoverCounter
+}
+
+type paddedCount struct {
+	n int
+	_ [7]uint64
+}
+
+// New assembles a cohort lock from a global lock and per-socket locals.
+func New(name string, global Global, local []Local, maxLocalPasses int) *Lock {
+	if len(local) == 0 {
+		panic("cohort: need at least one local lock")
+	}
+	if maxLocalPasses < 1 {
+		maxLocalPasses = 1
+	}
+	return &Lock{
+		name:     name,
+		global:   global,
+		local:    local,
+		maxPass:  maxLocalPasses,
+		passes:   make([]paddedCount, len(local)),
+		sockets:  len(local),
+		handover: locks.NewHandoverCounter(),
+	}
+}
+
+// Lock acquires the composite lock for t.
+func (c *Lock) Lock(t *locks.Thread) {
+	if t.Socket < 0 || t.Socket >= c.sockets {
+		panic(fmt.Sprintf("cohort: thread socket %d outside [0,%d)", t.Socket, c.sockets))
+	}
+	slot := t.AcquireSlot()
+	if c.local[t.Socket].Lock(t, slot) {
+		// Global ownership arrived via cohort passing.
+		c.handover.Record(t.Socket)
+		return
+	}
+	c.global.Lock(t)
+	c.handover.Record(t.Socket)
+}
+
+// Unlock releases the composite lock.
+func (c *Lock) Unlock(t *locks.Thread) {
+	slot := t.ReleaseSlot()
+	s := t.Socket
+	if c.passes[s].n < c.maxPass && c.local[s].HasWaiter(t, slot) {
+		c.passes[s].n++
+		c.local[s].Unlock(t, slot, true)
+		return
+	}
+	c.passes[s].n = 0
+	c.global.Unlock(t)
+	c.local[s].Unlock(t, slot, false)
+}
+
+// Name implements locks.Mutex.
+func (c *Lock) Name() string { return c.name }
+
+// Handovers exposes local/remote handover statistics (read when idle).
+func (c *Lock) Handovers() *locks.HandoverCounter { return &c.handover }
+
+var _ locks.Mutex = (*Lock)(nil)

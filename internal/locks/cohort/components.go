@@ -1,0 +1,166 @@
+package cohort
+
+import (
+	"sync/atomic"
+
+	"repro/internal/locks"
+	"repro/internal/spinwait"
+)
+
+// ---- Local MCS with cohort passing (the "MCS" of C-BO-MCS) ----
+
+// Node status values. mcsWait means the waiter is still spinning; the
+// other two communicate whether global-lock ownership travelled with the
+// local handover.
+const (
+	mcsWait    uint32 = 0 // spinning
+	mcsNoPass  uint32 = 1 // acquired local lock; global NOT passed
+	mcsGotPass uint32 = 2 // acquired local lock; global ownership passed
+)
+
+type cohortMCSNode struct {
+	next   atomic.Pointer[cohortMCSNode]
+	status atomic.Uint32
+	_      [4]uint64
+}
+
+// MCSLocal is an MCS lock extended with cohort passing: release can hand
+// the successor a flag saying the global lock travels with the local one.
+type MCSLocal struct {
+	tail  atomic.Pointer[cohortMCSNode]
+	nodes [][locks.MaxNesting]cohortMCSNode
+}
+
+// NewMCSLocal returns a cohort-capable MCS local lock.
+func NewMCSLocal(maxThreads int) *MCSLocal {
+	return &MCSLocal{nodes: make([][locks.MaxNesting]cohortMCSNode, maxThreads)}
+}
+
+// Lock implements Local.
+func (l *MCSLocal) Lock(t *locks.Thread, slot int) bool {
+	n := &l.nodes[t.ID][slot]
+	n.next.Store(nil)
+	n.status.Store(mcsWait)
+	prev := l.tail.Swap(n)
+	if prev == nil {
+		n.status.Store(mcsNoPass)
+		return false
+	}
+	prev.next.Store(n)
+	var s spinwait.Spinner
+	for n.status.Load() == mcsWait {
+		s.Pause()
+	}
+	return n.status.Load() == mcsGotPass
+}
+
+// Unlock implements Local.
+func (l *MCSLocal) Unlock(t *locks.Thread, slot int, passGlobal bool) {
+	n := &l.nodes[t.ID][slot]
+	status := mcsNoPass
+	if passGlobal {
+		status = mcsGotPass
+	}
+	next := n.next.Load()
+	if next == nil {
+		if !passGlobal && l.tail.CompareAndSwap(n, nil) {
+			return
+		}
+		// passGlobal implies HasWaiter returned true, so a successor has
+		// at least swapped the tail; wait for it to link.
+		var s spinwait.Spinner
+		for next = n.next.Load(); next == nil; next = n.next.Load() {
+			s.Pause()
+		}
+	}
+	next.status.Store(status)
+}
+
+// HasWaiter implements Local.
+func (l *MCSLocal) HasWaiter(t *locks.Thread, slot int) bool {
+	n := &l.nodes[t.ID][slot]
+	return n.next.Load() != nil || l.tail.Load() != n
+}
+
+// ---- Local ticket with cohort passing (the "TKT" of C-TKT-TKT) ----
+
+// TicketLocal is a ticket lock extended with cohort passing.
+type TicketLocal struct {
+	state atomic.Uint64 // next<<32 | grant
+	// passFlag is written by the releasing holder before it bumps grant
+	// and read by the next holder after it observes its grant; the grant
+	// store/load pair orders the accesses.
+	passFlag atomic.Uint32
+}
+
+// NewTicketLocal returns a cohort-capable ticket local lock.
+func NewTicketLocal() *TicketLocal { return &TicketLocal{} }
+
+// Lock implements Local.
+func (l *TicketLocal) Lock(t *locks.Thread, slot int) bool {
+	ticket := uint32(l.state.Add(1<<32)>>32) - 1
+	var s spinwait.Spinner
+	for uint32(l.state.Load()) != ticket {
+		s.Pause()
+	}
+	return l.passFlag.Load() != 0
+}
+
+// Unlock implements Local.
+func (l *TicketLocal) Unlock(t *locks.Thread, slot int, passGlobal bool) {
+	if passGlobal {
+		l.passFlag.Store(1)
+	} else {
+		l.passFlag.Store(0)
+	}
+	l.state.Add(1)
+}
+
+// HasWaiter implements Local.
+func (l *TicketLocal) HasWaiter(t *locks.Thread, slot int) bool {
+	v := l.state.Load()
+	return uint32(v>>32) > uint32(v)+1
+}
+
+// ---- Global adapters ----
+
+// boGlobal adapts BackoffTAS (thread-oblivious: the releaser just clears
+// the word) to the Global interface.
+type boGlobal struct{ *locks.BackoffTAS }
+
+// tktGlobal adapts Ticket (thread-oblivious: Unlock bumps grant).
+type tktGlobal struct{ *locks.Ticket }
+
+// ptlGlobal adapts PartitionedTicket.
+type ptlGlobal struct{ *locks.PartitionedTicket }
+
+// ---- The paper's three cohort variants ----
+
+// NewCBOMCS builds C-BO-MCS: backoff test-and-set global, MCS locals.
+// The paper reports it as the best-performing Cohort variant.
+func NewCBOMCS(sockets, maxThreads, maxLocalPasses int) *Lock {
+	local := make([]Local, sockets)
+	for i := range local {
+		local[i] = NewMCSLocal(maxThreads)
+	}
+	return New("C-BO-MCS", boGlobal{locks.DefaultBackoffTAS()}, local, maxLocalPasses)
+}
+
+// NewCTKTTKT builds C-TKT-TKT: ticket global, ticket locals.
+func NewCTKTTKT(sockets, maxLocalPasses int) *Lock {
+	local := make([]Local, sockets)
+	for i := range local {
+		local[i] = NewTicketLocal()
+	}
+	return New("C-TKT-TKT", tktGlobal{locks.NewTicket()}, local, maxLocalPasses)
+}
+
+// NewCPTLTKT builds C-PTL-TKT: partitioned-ticket global (one slot per
+// socket), ticket locals.
+func NewCPTLTKT(sockets, maxLocalPasses int) *Lock {
+	local := make([]Local, sockets)
+	for i := range local {
+		local[i] = NewTicketLocal()
+	}
+	return New("C-PTL-TKT", ptlGlobal{locks.NewPartitionedTicket(sockets)}, local, maxLocalPasses)
+}

@@ -1,0 +1,171 @@
+// Package hmcs implements the two-level HMCS lock of Chabbi, Fagan and
+// Mellor-Crummey (PPoPP 2015): an MCS lock per socket plus a root MCS
+// lock, with cohort-style passing between same-socket waiters. It is the
+// strongest NUMA-aware competitor in the paper's plots ("CNA ... only lags
+// behind HMCS by a narrow margin") and the clearest illustration of the
+// space cost CNA eliminates: one padded queue per socket plus a root
+// queue, versus CNA's single word.
+package hmcs
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/locks"
+	"repro/internal/spinwait"
+)
+
+// Status values carried in a leaf node. Values in [1, threshold] are the
+// running count of consecutive cohort passes.
+const (
+	statusWait   uint64 = math.MaxUint64     // still spinning
+	statusAcqPar uint64 = math.MaxUint64 - 1 // promoted: must acquire the parent
+	cohortStart  uint64 = 1                  // first holder in a cohort round
+)
+
+// DefaultThreshold bounds consecutive same-socket handovers (the HMCS
+// paper's default passing threshold).
+const DefaultThreshold = 64
+
+type leafNode struct {
+	next   atomic.Pointer[leafNode]
+	status atomic.Uint64
+	_      [4]uint64
+}
+
+type rootNode struct {
+	next   atomic.Pointer[rootNode]
+	locked atomic.Bool
+	_      [4]uint64
+}
+
+// leaf is one socket's MCS queue plus its statically owned node in the
+// root queue (the hierarchical structure that makes HMCS cost
+// Ω(sockets) space).
+type leaf struct {
+	tail atomic.Pointer[leafNode]
+	root rootNode
+	_    [4]uint64
+}
+
+// HMCS is a two-level hierarchical MCS lock.
+type HMCS struct {
+	rootTail  atomic.Pointer[rootNode]
+	leaves    []*leaf
+	nodes     [][locks.MaxNesting]leafNode
+	threshold uint64
+	handover  locks.HandoverCounter
+}
+
+// New returns an HMCS lock for the given socket count and thread-ID bound,
+// passing the lock within a socket up to threshold consecutive times.
+func New(sockets, maxThreads int, threshold uint64) *HMCS {
+	if sockets < 1 {
+		panic("hmcs: need at least one socket")
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	l := &HMCS{
+		leaves:    make([]*leaf, sockets),
+		nodes:     make([][locks.MaxNesting]leafNode, maxThreads),
+		threshold: threshold,
+		handover:  locks.NewHandoverCounter(),
+	}
+	for i := range l.leaves {
+		l.leaves[i] = &leaf{}
+	}
+	return l
+}
+
+// Lock acquires the lock for t.
+func (l *HMCS) Lock(t *locks.Thread) {
+	lf := l.leaves[t.Socket]
+	me := &l.nodes[t.ID][t.AcquireSlot()]
+	me.next.Store(nil)
+	me.status.Store(statusWait)
+
+	prev := lf.tail.Swap(me)
+	if prev != nil {
+		prev.next.Store(me)
+		var s spinwait.Spinner
+		for me.status.Load() == statusWait {
+			s.Pause()
+		}
+		if me.status.Load() != statusAcqPar {
+			// Ownership passed within the cohort; status carries the pass
+			// count for our eventual release.
+			l.handover.Record(t.Socket)
+			return
+		}
+	}
+	// We are the socket's representative: acquire the root MCS lock with
+	// the leaf's embedded root node.
+	me.status.Store(cohortStart)
+	rn := &lf.root
+	rn.next.Store(nil)
+	rn.locked.Store(false)
+	rprev := l.rootTail.Swap(rn)
+	if rprev != nil {
+		rprev.next.Store(rn)
+		var s spinwait.Spinner
+		for !rn.locked.Load() {
+			s.Pause()
+		}
+	}
+	l.handover.Record(t.Socket)
+}
+
+// Unlock releases the lock for t.
+func (l *HMCS) Unlock(t *locks.Thread) {
+	lf := l.leaves[t.Socket]
+	me := &l.nodes[t.ID][t.ReleaseSlot()]
+	count := me.status.Load()
+
+	if count < l.threshold {
+		// Budget remains: try to pass within the cohort.
+		if succ := me.next.Load(); succ != nil {
+			succ.status.Store(count + 1)
+			return
+		}
+	}
+	// Either the budget is exhausted or no cohort successor is linked:
+	// release the root lock, then the leaf queue.
+	l.releaseRoot(lf)
+	succ := me.next.Load()
+	if succ == nil {
+		if lf.tail.CompareAndSwap(me, nil) {
+			return
+		}
+		var s spinwait.Spinner
+		for succ = me.next.Load(); succ == nil; succ = me.next.Load() {
+			s.Pause()
+		}
+	}
+	succ.status.Store(statusAcqPar)
+}
+
+// releaseRoot performs a plain MCS release of the root queue on behalf of
+// the leaf's embedded node.
+func (l *HMCS) releaseRoot(lf *leaf) {
+	rn := &lf.root
+	next := rn.next.Load()
+	if next == nil {
+		if l.rootTail.CompareAndSwap(rn, nil) {
+			return
+		}
+		var s spinwait.Spinner
+		for next = rn.next.Load(); next == nil; next = rn.next.Load() {
+			s.Pause()
+		}
+	}
+	next.locked.Store(true)
+}
+
+// Name implements locks.Mutex.
+func (l *HMCS) Name() string { return "HMCS" }
+
+// Handovers exposes local/remote handover statistics (read when idle).
+func (l *HMCS) Handovers() *locks.HandoverCounter { return &l.handover }
+
+var _ locks.Mutex = (*HMCS)(nil)

@@ -1,0 +1,132 @@
+// Package locks provides the mutual-exclusion algorithms the CNA paper
+// evaluates against: simple spin locks (test-and-set and friends), queue
+// locks (MCS, CLH, ticket) and NUMA-aware locks (HBO here; Lock Cohorting
+// and HMCS in subpackages; CNA itself in internal/core).
+//
+// # Threads
+//
+// Every algorithm is driven through a per-worker *Thread, which carries
+// the worker's identity: a dense id, the NUMA socket it runs on (from a
+// numa.Placement), and a private PRNG. Queue locks additionally need a
+// queue node per acquisition; each lock instance preallocates
+// MaxNesting nodes per thread, mirroring the Linux kernel's four
+// statically preallocated per-CPU qspinlock nodes. Locks must therefore
+// be released in LIFO order with respect to other locks acquired through
+// the same Thread, which is the discipline every workload in this repo
+// (and the kernel) follows.
+//
+// # Liveness on small machines
+//
+// All spin loops use spinwait, which yields to the Go scheduler, so every
+// lock here is live at GOMAXPROCS=1.
+package locks
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+)
+
+// MaxNesting is the maximum depth to which a single thread may nest lock
+// acquisitions through the same Thread value. The Linux kernel uses the
+// same constant for its per-CPU qspinlock nodes ("the Linux kernel limits
+// the number of contexts that can nest ... the limit is four").
+const MaxNesting = 4
+
+// Thread is a worker's identity, passed to every Lock/Unlock call.
+type Thread struct {
+	// ID is a dense worker index in [0, maxThreads) used to locate the
+	// thread's preallocated queue nodes.
+	ID int
+	// Socket is the NUMA node the thread runs on.
+	Socket int
+	// RNG is the thread's private generator (the paper's lightweight
+	// pseudo-random number generator).
+	RNG *prng.Xoroshiro
+
+	// nest is the current lock-nesting depth (LIFO discipline).
+	nest int
+}
+
+// NewThread returns a Thread with the given id and socket and a
+// deterministic per-thread PRNG.
+func NewThread(id, socket int) *Thread {
+	return &Thread{ID: id, Socket: socket, RNG: prng.New(uint64(id)*0x9e3779b97f4a7c15 + 0xdeadbeef)}
+}
+
+// AcquireSlot reserves a nesting slot and returns its index. It is meant
+// for lock implementations (including those in subpackages), not for lock
+// users: every Lock implementation that needs per-acquisition state calls
+// it exactly once on entry and pairs it with ReleaseSlot in Unlock.
+func (t *Thread) AcquireSlot() int {
+	if t.nest >= MaxNesting {
+		panic(fmt.Sprintf("locks: thread %d exceeded MaxNesting=%d", t.ID, MaxNesting))
+	}
+	n := t.nest
+	t.nest++
+	return n
+}
+
+// ReleaseSlot releases the most recent nesting slot and returns its index.
+func (t *Thread) ReleaseSlot() int {
+	if t.nest == 0 {
+		panic(fmt.Sprintf("locks: thread %d unlocked more than it locked", t.ID))
+	}
+	t.nest--
+	return t.nest
+}
+
+// Depth reports the current nesting depth (for tests).
+func (t *Thread) Depth() int { return t.nest }
+
+// Mutex is the uniform lock interface used by all benchmarks and
+// applications. Implementations are created for a fixed maximum number of
+// threads; calls must pass Thread values with IDs below that maximum.
+type Mutex interface {
+	// Lock acquires the mutex for t, blocking until it is available.
+	Lock(t *Thread)
+	// Unlock releases the mutex. It must be called by the thread that
+	// holds it (cohort-style global locks relax this internally, but the
+	// public interface keeps the POSIX contract).
+	Unlock(t *Thread)
+	// Name identifies the algorithm in reports, e.g. "MCS" or "CNA".
+	Name() string
+}
+
+// HandoverCounter tracks where lock ownership travels, the statistic
+// behind the paper's LLC-miss and locality arguments. Counters are
+// maintained by the releasing thread while it still owns the lock, so no
+// atomics are needed; reads are only meaningful when the lock is idle.
+type HandoverCounter struct {
+	local  uint64 // handovers to a thread on the holder's socket
+	remote uint64 // handovers to a thread on another socket
+	last   int    // socket of the previous holder, -1 initially
+}
+
+// NewHandoverCounter returns a counter with no previous holder.
+func NewHandoverCounter() HandoverCounter { return HandoverCounter{last: -1} }
+
+// Record notes that a thread on socket now holds the lock.
+func (h *HandoverCounter) Record(socket int) {
+	if h.last >= 0 {
+		if socket == h.last {
+			h.local++
+		} else {
+			h.remote++
+		}
+	}
+	h.last = socket
+}
+
+// Counts returns the number of local and remote handovers so far.
+func (h *HandoverCounter) Counts() (local, remote uint64) { return h.local, h.remote }
+
+// RemoteFraction returns remote/(local+remote), or 0 when no handovers
+// have happened.
+func (h *HandoverCounter) RemoteFraction() float64 {
+	total := h.local + h.remote
+	if total == 0 {
+		return 0
+	}
+	return float64(h.remote) / float64(total)
+}

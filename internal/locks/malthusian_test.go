@@ -1,0 +1,140 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMalthusianMutualExclusion(t *testing.T) {
+	const threads, iters = 8, 300
+	l := DefaultMalthusian(threads)
+	var counter int
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := NewThread(w, w%2)
+			for i := 0; i < iters; i++ {
+				l.Lock(th)
+				counter++
+				l.Unlock(th)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != threads*iters {
+		t.Fatalf("counter = %d, want %d", counter, threads*iters)
+	}
+	if l.passiveLen != 0 || l.passiveHead != nil {
+		t.Fatalf("passive list not drained: len=%d", l.passiveLen)
+	}
+}
+
+func TestMalthusianCullsUnderContention(t *testing.T) {
+	const threads, iters = 10, 400
+	// Aggressive revival would mask culling; use a large mask so culled
+	// threads mostly stay passive within the run.
+	l := NewMalthusian(threads, 2, 0xffff)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := NewThread(w, w%2)
+			for i := 0; i < iters; i++ {
+				l.Lock(th)
+				// Yield inside the critical section so waiters pile up
+				// (a single-core host otherwise keeps the queue short).
+				runtime.Gosched()
+				runtime.Gosched()
+				l.Unlock(th)
+			}
+		}(w)
+	}
+	wg.Wait()
+	culled, revived := l.CullStats()
+	if culled == 0 {
+		t.Error("10-way contention never culled a waiter")
+	}
+	if revived > culled {
+		t.Errorf("revived %d > culled %d", revived, culled)
+	}
+}
+
+func TestMalthusianSingleThread(t *testing.T) {
+	l := DefaultMalthusian(1)
+	th := NewThread(0, 0)
+	for i := 0; i < 200; i++ {
+		l.Lock(th)
+		l.Unlock(th)
+	}
+	if c, r := l.CullStats(); c != 0 || r != 0 {
+		t.Fatalf("uncontended run culled %d / revived %d", c, r)
+	}
+}
+
+func TestMalthusianTwoThreadsNeverCull(t *testing.T) {
+	// With minActive 2 and only two threads, the estimate never exceeds
+	// the floor, so the lock degenerates to plain MCS.
+	l := NewMalthusian(2, 2, 0xff)
+	var counter int
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := NewThread(w, w)
+			for i := 0; i < 400; i++ {
+				l.Lock(th)
+				counter++
+				l.Unlock(th)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != 800 {
+		t.Fatalf("counter = %d", counter)
+	}
+	if c, _ := l.CullStats(); c != 0 {
+		t.Fatalf("culled %d waiters with only two threads", c)
+	}
+}
+
+func TestMalthusianMinActiveNormalised(t *testing.T) {
+	l := NewMalthusian(1, 0, 1)
+	if l.minActive != 1 {
+		t.Fatalf("minActive = %d, want 1", l.minActive)
+	}
+}
+
+// Property: random small configurations always preserve the counter and
+// drain the passive list.
+func TestMalthusianQuiescenceProperty(t *testing.T) {
+	f := func(nThreads, nIters uint8, mask uint16) bool {
+		threads := int(nThreads)%6 + 2
+		iters := int(nIters)%40 + 1
+		l := NewMalthusian(threads, 2, uint64(mask))
+		var counter int
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				th := NewThread(w, w%2)
+				for i := 0; i < iters; i++ {
+					l.Lock(th)
+					counter++
+					l.Unlock(th)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return counter == threads*iters && l.passiveHead == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

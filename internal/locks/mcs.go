@@ -1,0 +1,80 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"repro/internal/spinwait"
+)
+
+// mcsNode is a queue node of the MCS lock. Nodes are preallocated per
+// thread and reused across acquisitions.
+type mcsNode struct {
+	next   atomic.Pointer[mcsNode]
+	locked atomic.Bool // set by the predecessor when ownership passes
+	socket int         // recorded at enqueue time, for handover statistics
+	_      [4]uint64   // pad nodes apart to avoid false sharing
+}
+
+// MCS is the Mellor-Crummey/Scott queue lock: the shared state is a
+// single tail pointer; waiters enqueue with one atomic swap and spin on a
+// flag in their own node. It is the NUMA-oblivious baseline the CNA lock
+// is derived from and measured against.
+type MCS struct {
+	tail  atomic.Pointer[mcsNode]
+	nodes [][MaxNesting]mcsNode
+	stats HandoverCounter
+}
+
+// NewMCS returns an MCS lock usable by threads with IDs below maxThreads.
+func NewMCS(maxThreads int) *MCS {
+	return &MCS{
+		nodes: make([][MaxNesting]mcsNode, maxThreads),
+		stats: NewHandoverCounter(),
+	}
+}
+
+// Lock enqueues t and waits until it reaches the head of the queue.
+func (l *MCS) Lock(t *Thread) {
+	n := &l.nodes[t.ID][t.AcquireSlot()]
+	n.next.Store(nil)
+	n.locked.Store(false)
+	n.socket = t.Socket
+
+	prev := l.tail.Swap(n)
+	if prev == nil {
+		l.stats.Record(t.Socket)
+		return
+	}
+	prev.next.Store(n)
+	var s spinwait.Spinner
+	for !n.locked.Load() {
+		s.Pause()
+	}
+	l.stats.Record(t.Socket)
+}
+
+// Unlock passes the lock to t's successor, or empties the queue.
+func (l *MCS) Unlock(t *Thread) {
+	n := &l.nodes[t.ID][t.ReleaseSlot()]
+	next := n.next.Load()
+	if next == nil {
+		// No linked successor. If the tail is still us, the queue is
+		// empty; otherwise a successor swapped the tail and is about to
+		// link in — wait for the link.
+		if l.tail.CompareAndSwap(n, nil) {
+			return
+		}
+		var s spinwait.Spinner
+		for next = n.next.Load(); next == nil; next = n.next.Load() {
+			s.Pause()
+		}
+	}
+	next.locked.Store(true)
+}
+
+// Name implements Mutex.
+func (l *MCS) Name() string { return "MCS" }
+
+// Handovers exposes the lock's local/remote handover counts. Read it only
+// while the lock is idle.
+func (l *MCS) Handovers() *HandoverCounter { return &l.stats }

@@ -1,0 +1,108 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"repro/internal/spinwait"
+)
+
+// TAS is the classic test-and-set spin lock: one word, global spinning,
+// no fairness guarantees. It is the paper's strawman ("A test-and-set
+// lock is one of the simplest spin locks") and the fast path of the Linux
+// qspinlock.
+type TAS struct {
+	state atomic.Uint32
+}
+
+// NewTAS returns an unlocked test-and-set lock.
+func NewTAS() *TAS { return &TAS{} }
+
+// Lock acquires the lock by spinning on an atomic swap.
+func (l *TAS) Lock(t *Thread) {
+	var s spinwait.Spinner
+	for l.state.Swap(1) != 0 {
+		s.Pause()
+	}
+}
+
+// Unlock releases the lock.
+func (l *TAS) Unlock(t *Thread) { l.state.Store(0) }
+
+// Name implements Mutex.
+func (l *TAS) Name() string { return "TAS" }
+
+// TTAS is test-and-test-and-set: it spins on a plain read until the lock
+// looks free before attempting the atomic swap, reducing coherence
+// traffic relative to TAS while keeping its one-word footprint.
+type TTAS struct {
+	state atomic.Uint32
+}
+
+// NewTTAS returns an unlocked test-and-test-and-set lock.
+func NewTTAS() *TTAS { return &TTAS{} }
+
+// Lock acquires the lock.
+func (l *TTAS) Lock(t *Thread) {
+	var s spinwait.Spinner
+	for {
+		for l.state.Load() != 0 {
+			s.Pause()
+		}
+		if l.state.Swap(1) == 0 {
+			return
+		}
+	}
+}
+
+// Unlock releases the lock.
+func (l *TTAS) Unlock(t *Thread) { l.state.Store(0) }
+
+// Name implements Mutex.
+func (l *TTAS) Name() string { return "TTAS" }
+
+// BackoffTAS is a test-and-set lock with capped exponential backoff — the
+// "BO" component of the paper's best-performing Cohort variant C-BO-MCS,
+// where its tendency to re-admit the most recent releaser is exactly what
+// keeps the lock on one socket (and what makes it unfair; cf. the paper's
+// Figure 8 discussion).
+type BackoffTAS struct {
+	state    atomic.Uint32
+	min, max uint
+}
+
+// NewBackoffTAS returns an unlocked backoff lock with backoff window
+// [min, max] pause units.
+func NewBackoffTAS(min, max uint) *BackoffTAS {
+	return &BackoffTAS{min: min, max: max}
+}
+
+// DefaultBackoffTAS returns a BackoffTAS with the window used throughout
+// the benchmarks.
+func DefaultBackoffTAS() *BackoffTAS { return NewBackoffTAS(4, 1024) }
+
+// Lock acquires the lock.
+func (l *BackoffTAS) Lock(t *Thread) {
+	seed := uint64(t.ID + 1)
+	if t.RNG != nil {
+		seed = t.RNG.Next()
+	}
+	bo := spinwait.NewBackoff(l.min, l.max, seed)
+	for {
+		if l.state.Load() == 0 && l.state.Swap(1) == 0 {
+			return
+		}
+		bo.Wait()
+	}
+}
+
+// Unlock releases the lock.
+func (l *BackoffTAS) Unlock(t *Thread) { l.state.Store(0) }
+
+// Name implements Mutex.
+func (l *BackoffTAS) Name() string { return "BO-TAS" }
+
+// TryLock attempts a single non-blocking acquisition (used by the cohort
+// framework's global-lock path).
+func (l *BackoffTAS) TryLock() bool {
+	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}

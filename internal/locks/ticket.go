@@ -1,0 +1,105 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"repro/internal/spinwait"
+)
+
+// Ticket is a FIFO ticket lock: one atomic fetch-add to take a ticket,
+// spin until the grant counter reaches it. Strictly fair, one word of
+// state (two 32-bit halves of a single uint64), global spinning.
+//
+// It serves as the local and global component of the C-TKT-TKT cohort
+// variant and as the "TKT" local lock of C-PTL-TKT.
+type Ticket struct {
+	// state packs next (high 32 bits) and grant (low 32 bits).
+	state atomic.Uint64
+}
+
+// NewTicket returns an unlocked ticket lock.
+func NewTicket() *Ticket { return &Ticket{} }
+
+// Lock takes a ticket and waits for it to be served.
+func (l *Ticket) Lock(t *Thread) {
+	ticket := uint32(l.state.Add(1<<32) >> 32) // post-increment: our ticket is next-1
+	ticket--
+	var s spinwait.Spinner
+	for uint32(l.state.Load()) != ticket {
+		s.Pause()
+	}
+}
+
+// Unlock serves the next ticket. Ticket locks are thread-oblivious: any
+// thread may call Unlock on behalf of the holder, a property the cohort
+// framework requires of its global lock.
+func (l *Ticket) Unlock(t *Thread) {
+	l.state.Add(1)
+}
+
+// Name implements Mutex.
+func (l *Ticket) Name() string { return "TKT" }
+
+// HasWaiters reports whether another thread holds a ticket behind the
+// current holder. Only meaningful when called by the lock holder; this is
+// the "cohort detection" property the cohort framework requires of its
+// local lock.
+func (l *Ticket) HasWaiters() bool {
+	v := l.state.Load()
+	next, grant := uint32(v>>32), uint32(v)
+	return next > grant+1
+}
+
+// PartitionedTicket is the "PTL" global lock of C-PTL-TKT (Dice et al.):
+// a ticket lock whose grant is striped across several slots so that
+// waiting threads spin on different cache lines instead of a single
+// global grant word. One acquisition still costs a single fetch-add.
+type PartitionedTicket struct {
+	next  atomic.Uint64
+	slots []paddedGrant
+	// held records the current holder's ticket; written and read only by
+	// the holder (between Lock and Unlock), so it needs no atomics, and
+	// Unlock stays thread-oblivious (any thread releasing on the holder's
+	// behalf reads the same field the holder wrote).
+	held uint64
+}
+
+type paddedGrant struct {
+	grant atomic.Uint64
+	_     [7]uint64 // pad to a cache line so slots do not false-share
+}
+
+// NewPartitionedTicket returns an unlocked partitioned ticket lock with
+// the given number of grant slots (rounded up to at least 1).
+func NewPartitionedTicket(slots int) *PartitionedTicket {
+	if slots < 1 {
+		slots = 1
+	}
+	l := &PartitionedTicket{slots: make([]paddedGrant, slots)}
+	// Slot i initially holds grant value i so that ticket i finds its
+	// grant in slot i%slots.
+	for i := range l.slots {
+		l.slots[i].grant.Store(uint64(i))
+	}
+	return l
+}
+
+// Lock takes a ticket and spins on the slot that will announce it.
+func (l *PartitionedTicket) Lock(t *Thread) {
+	ticket := l.next.Add(1) - 1
+	slot := &l.slots[ticket%uint64(len(l.slots))]
+	var s spinwait.Spinner
+	for slot.grant.Load() != ticket {
+		s.Pause()
+	}
+	l.held = ticket
+}
+
+// Unlock announces the next ticket in its slot.
+func (l *PartitionedTicket) Unlock(t *Thread) {
+	next := l.held + 1
+	l.slots[next%uint64(len(l.slots))].grant.Store(next)
+}
+
+// Name implements Mutex.
+func (l *PartitionedTicket) Name() string { return "PTL" }

@@ -1,0 +1,137 @@
+// Package locktorture ports the Linux kernel's locktorture module (the
+// Section 7.2.1 benchmark) to the qspin spinlock: a configurable number
+// of writer threads repeatedly acquire and release one spin lock, "with
+// occasional short delays ... and occasional long delays ... inside the
+// critical section", reporting the total number of lock operations at
+// the end of a fixed-duration run.
+//
+// The optional lockstat mode reproduces the paper's second configuration
+// ("we compiled the kernel with lockstat enabled"): after each
+// acquisition the holder updates shared statistics — the last CPU to
+// take the lock, per-class hold counters — creating genuine shared-data
+// writes inside the critical section.
+package locktorture
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/qspin"
+	"repro/internal/spinwait"
+	"repro/internal/stats"
+)
+
+// Config mirrors the module's parameters (scaled to this port).
+type Config struct {
+	// Writers is the number of torture threads (nwriters_stress).
+	Writers int
+	// Duration is the run length.
+	Duration time.Duration
+	// ShortDelayEvery triggers a short critical-section delay once per
+	// this many operations on average ("to emulate likely code").
+	ShortDelayEvery int
+	// LongDelayEvery triggers a long delay ("to force massive
+	// contention").
+	LongDelayEvery int
+	// Lockstat enables shared-statistics updates in the critical section.
+	Lockstat bool
+}
+
+// DefaultConfig mirrors torture_spin_lock_write_delay's proportions.
+func DefaultConfig(writers int, d time.Duration) Config {
+	return Config{
+		Writers:         writers,
+		Duration:        d,
+		ShortDelayEvery: 200,
+		LongDelayEvery:  200_000,
+	}
+}
+
+// lockStats is the lockstat-like shared state updated in the critical
+// section. Plain fields: the torture lock itself serialises access.
+type lockStats struct {
+	lastCPU   int
+	holdCount uint64
+	waitTotal uint64
+}
+
+// Result is one torture run's outcome.
+type Result struct {
+	// TotalOps is the summed lock operations ("a total number of lock
+	// operations performed by all threads is reported").
+	TotalOps uint64
+	// OpsPerWriter supports fairness analysis.
+	OpsPerWriter []uint64
+	// Fairness is the paper's fairness factor.
+	Fairness float64
+	// Throughput is in operations per microsecond of wall time.
+	Throughput float64
+}
+
+// Run executes the torture test against the given spinlock domain.
+// Writer w runs as virtual CPU w.
+func Run(d *qspin.Domain, cfg Config) Result {
+	if cfg.Writers < 1 {
+		cfg.Writers = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 100 * time.Millisecond
+	}
+	var lock qspin.SpinLock
+	shared := &lockStats{}
+	ops := make([]uint64, cfg.Writers)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			var count uint64
+			var spin spinwait.Spinner
+			rngState := uint64(cpu)*0x9e3779b97f4a7c15 + 1
+			for !stop.Load() {
+				d.Lock(&lock, cpu)
+				if cfg.Lockstat {
+					shared.lastCPU = cpu
+					shared.holdCount++
+					shared.waitTotal += uint64(cpu)
+				}
+				// torture_spin_lock_write_delay: mostly nothing, an
+				// occasional short delay, a rare long one.
+				rngState ^= rngState << 13
+				rngState ^= rngState >> 7
+				rngState ^= rngState << 17
+				if cfg.LongDelayEvery > 0 && rngState%uint64(cfg.LongDelayEvery) == 0 {
+					for i := 0; i < 64; i++ {
+						spin.Pause()
+					}
+				} else if cfg.ShortDelayEvery > 0 && rngState%uint64(cfg.ShortDelayEvery) == 0 {
+					for i := 0; i < 4; i++ {
+						spin.Pause()
+					}
+				}
+				lock.Unlock()
+				count++
+			}
+			ops[cpu] = count
+		}(w)
+	}
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total uint64
+	for _, c := range ops {
+		total += c
+	}
+	return Result{
+		TotalOps:     total,
+		OpsPerWriter: ops,
+		Fairness:     stats.FairnessFactor(ops),
+		Throughput:   float64(total) / (float64(elapsed.Nanoseconds()) / 1000),
+	}
+}

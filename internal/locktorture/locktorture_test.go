@@ -1,0 +1,73 @@
+package locktorture
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/numa"
+	"repro/internal/qspin"
+)
+
+func TestRunProducesOps(t *testing.T) {
+	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyCNA)
+	res := Run(d, DefaultConfig(4, 40*time.Millisecond))
+	if res.TotalOps == 0 {
+		t.Fatal("no lock operations recorded")
+	}
+	if len(res.OpsPerWriter) != 4 {
+		t.Fatalf("OpsPerWriter = %d entries", len(res.OpsPerWriter))
+	}
+	var sum uint64
+	for _, o := range res.OpsPerWriter {
+		sum += o
+	}
+	if sum != res.TotalOps {
+		t.Fatalf("per-writer sum %d != total %d", sum, res.TotalOps)
+	}
+	if res.Fairness < 0.5 || res.Fairness > 1 {
+		t.Fatalf("fairness %v out of range", res.Fairness)
+	}
+}
+
+func TestRunStockPolicy(t *testing.T) {
+	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyStock)
+	res := Run(d, DefaultConfig(4, 40*time.Millisecond))
+	if res.TotalOps == 0 {
+		t.Fatal("no ops under stock policy")
+	}
+}
+
+func TestLockstatMode(t *testing.T) {
+	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyCNA)
+	cfg := DefaultConfig(4, 40*time.Millisecond)
+	cfg.Lockstat = true
+	res := Run(d, cfg)
+	if res.TotalOps == 0 {
+		t.Fatal("no ops in lockstat mode")
+	}
+}
+
+func TestConfigNormalisation(t *testing.T) {
+	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyStock)
+	res := Run(d, Config{Writers: 0, Duration: 0})
+	if res.TotalOps == 0 {
+		t.Fatal("normalised config produced no ops")
+	}
+	if len(res.OpsPerWriter) != 1 {
+		t.Fatalf("writers normalised to %d, want 1", len(res.OpsPerWriter))
+	}
+}
+
+func TestSingleWriterUncontended(t *testing.T) {
+	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyCNA)
+	res := Run(d, DefaultConfig(1, 30*time.Millisecond))
+	if res.Fairness != 0.5 {
+		t.Fatalf("single-writer fairness %v, want 0.5", res.Fairness)
+	}
+	// One writer must take the fast path almost always.
+	st := d.Stats()
+	if st.SlowPath.Load() > res.TotalOps/10 {
+		t.Fatalf("uncontended torture used the slow path %d times of %d",
+			st.SlowPath.Load(), res.TotalOps)
+	}
+}

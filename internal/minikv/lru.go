@@ -1,0 +1,129 @@
+package minikv
+
+import (
+	"repro/internal/locks"
+)
+
+// lruEntry is one cache entry on an intrusive doubly-linked list.
+type lruEntry struct {
+	key        uint64
+	value      uint64
+	prev, next *lruEntry
+}
+
+// lruShard is one mutex-protected shard: hash map + recency list, like
+// leveldb's LRUCache.
+type lruShard struct {
+	lock     locks.Mutex
+	table    map[uint64]*lruEntry
+	head     lruEntry // sentinel; head.next is most recent
+	capacity int
+}
+
+func newLRUShard(lock locks.Mutex, capacity int) *lruShard {
+	s := &lruShard{lock: lock, table: make(map[uint64]*lruEntry), capacity: capacity}
+	s.head.prev, s.head.next = &s.head, &s.head
+	return s
+}
+
+func (s *lruShard) unlink(e *lruEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (s *lruShard) pushFront(e *lruEntry) {
+	e.next = s.head.next
+	e.prev = &s.head
+	e.next.prev = e
+	s.head.next = e
+}
+
+// get returns the cached value and refreshes recency. Caller holds lock.
+func (s *lruShard) get(key uint64) (uint64, bool) {
+	e, ok := s.table[key]
+	if !ok {
+		return 0, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	return e.value, true
+}
+
+// put inserts or refreshes an entry, evicting the LRU tail on overflow.
+// Caller holds lock.
+func (s *lruShard) put(key, value uint64) {
+	if e, ok := s.table[key]; ok {
+		e.value = value
+		s.unlink(e)
+		s.pushFront(e)
+		return
+	}
+	e := &lruEntry{key: key, value: value}
+	s.table[key] = e
+	s.pushFront(e)
+	if len(s.table) > s.capacity {
+		tail := s.head.prev
+		s.unlink(tail)
+		delete(s.table, tail.key)
+	}
+}
+
+// ShardedLRU is leveldb's sharded block cache: a fixed number of
+// independently locked LRU shards, selected by key hash. Under
+// readrandom each Get touches one shard, spreading—but not
+// eliminating—lock contention, exactly the behaviour the paper
+// describes ("the contention is spread over multiple locks").
+type ShardedLRU struct {
+	shards []*lruShard
+}
+
+// NewShardedLRU builds a cache with the given shard count and total
+// capacity; mkLock supplies each shard's mutex.
+func NewShardedLRU(shards, capacity int, mkLock func() locks.Mutex) *ShardedLRU {
+	if shards < 1 {
+		shards = 1
+	}
+	c := &ShardedLRU{shards: make([]*lruShard, shards)}
+	per := capacity / shards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = newLRUShard(mkLock(), per)
+	}
+	return c
+}
+
+// shardFor hashes a key to its shard.
+func (c *ShardedLRU) shardFor(key uint64) *lruShard {
+	h := key * 0x9e3779b97f4a7c15
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// Get looks up a key under its shard lock.
+func (c *ShardedLRU) Get(t *locks.Thread, key uint64) (uint64, bool) {
+	s := c.shardFor(key)
+	s.lock.Lock(t)
+	v, ok := s.get(key)
+	s.lock.Unlock(t)
+	return v, ok
+}
+
+// Put inserts a key under its shard lock.
+func (c *ShardedLRU) Put(t *locks.Thread, key, value uint64) {
+	s := c.shardFor(key)
+	s.lock.Lock(t)
+	s.put(key, value)
+	s.lock.Unlock(t)
+}
+
+// Len returns the total entry count (takes every shard lock).
+func (c *ShardedLRU) Len(t *locks.Thread) int {
+	n := 0
+	for _, s := range c.shards {
+		s.lock.Lock(t)
+		n += len(s.table)
+		s.lock.Unlock(t)
+	}
+	return n
+}

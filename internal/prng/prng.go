@@ -1,0 +1,107 @@
+// Package prng provides small, fast, deterministic pseudo-random number
+// generators suitable for per-thread use inside lock algorithms and
+// benchmark drivers.
+//
+// The CNA paper relies on a "lightweight pseudo-random number generator"
+// for its long-term fairness policy (keep_lock_local) and for workload key
+// selection. math/rand is too heavy to call inside a lock handover path
+// (it takes a lock itself in the global form), so this package implements
+// SplitMix64 (for seeding) and xoroshiro128** (for streams). Both are
+// allocation-free and safe to embed in per-thread contexts.
+package prng
+
+import "math/bits"
+
+// SplitMix64 is a tiny 64-bit generator, primarily used to seed other
+// generators. A zero-value SplitMix64 is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoroshiro is a xoroshiro128** generator: fast, 128-bit state, good
+// statistical quality for simulation workloads.
+type Xoroshiro struct {
+	s0, s1 uint64
+}
+
+// New returns a Xoroshiro seeded from seed via SplitMix64, per the
+// reference implementation's seeding recommendation. The state is never
+// all-zero, even for seed 0.
+func New(seed uint64) *Xoroshiro {
+	sm := NewSplitMix64(seed)
+	x := &Xoroshiro{s0: sm.Next(), s1: sm.Next()}
+	if x.s0 == 0 && x.s1 == 0 {
+		x.s0 = 0x9e3779b97f4a7c15
+	}
+	return x
+}
+
+// Seed resets the generator state from seed.
+func (x *Xoroshiro) Seed(seed uint64) {
+	sm := NewSplitMix64(seed)
+	x.s0, x.s1 = sm.Next(), sm.Next()
+	if x.s0 == 0 && x.s1 == 0 {
+		x.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (x *Xoroshiro) Next() uint64 {
+	s0, s1 := x.s0, x.s1
+	result := bits.RotateLeft64(s0*5, 7) * 9
+	s1 ^= s0
+	x.s0 = bits.RotateLeft64(s0, 24) ^ s1 ^ (s1 << 16)
+	x.s1 = bits.RotateLeft64(s1, 37)
+	return result
+}
+
+// Uint32 returns the high 32 bits of the next value.
+func (x *Xoroshiro) Uint32() uint32 {
+	return uint32(x.Next() >> 32)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (x *Xoroshiro) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection-free-enough reduction. The bias is
+	// below 2^-32 for the key ranges used here; acceptable for workloads.
+	return int((uint64(x.Uint32()) * uint64(n)) >> 32)
+}
+
+// Int63 returns a non-negative 63-bit value, mirroring math/rand.Int63 so
+// the type can stand in for rand sources in drivers.
+func (x *Xoroshiro) Int63() int64 {
+	return int64(x.Next() >> 1)
+}
+
+// Float64 returns a float64 in [0, 1).
+func (x *Xoroshiro) Float64() float64 {
+	return float64(x.Next()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (x *Xoroshiro) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return x.Float64() < p
+}

@@ -1,0 +1,209 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 1234567 from the public-domain SplitMix64
+	// reference implementation.
+	sm := NewSplitMix64(1234567)
+	got := []uint64{sm.Next(), sm.Next(), sm.Next()}
+	want := []uint64{0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("SplitMix64(1234567) value %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("same-seed streams diverged at step %d: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestXoroshiroDeterministic(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoroshiroSeedZeroIsNotStuck(t *testing.T) {
+	x := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[x.Next()] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("seed-0 generator produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestXoroshiroSeedReset(t *testing.T) {
+	x := New(7)
+	first := []uint64{x.Next(), x.Next(), x.Next()}
+	x.Seed(7)
+	for i, want := range first {
+		if got := x.Next(); got != want {
+			t.Fatalf("after Seed(7), value %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	x := New(3)
+	for _, n := range []int{1, 2, 3, 10, 1024, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square-ish sanity check: 16 buckets, 160k draws, expect each
+	// bucket within 5% of 10k.
+	x := New(12345)
+	const buckets, draws = 16, 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[x.Intn(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c-want)) > 0.05*float64(want) {
+			t.Errorf("bucket %d has %d draws, want %d±5%%", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(5)
+	for i := 0; i < 10000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	x := New(5)
+	for i := 0; i < 100; i++ {
+		if x.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !x.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if x.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) returned true")
+		}
+		if !x.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	x := New(777)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if x.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %v, want 0.3±0.01", got)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	x := New(9)
+	for i := 0; i < 10000; i++ {
+		if v := x.Int63(); v < 0 {
+			t.Fatalf("Int63() = %d is negative", v)
+		}
+	}
+}
+
+// Property: two generators with different seeds should produce different
+// streams (collision over the first draw would be a seeding bug for
+// practically any pair of seeds quick generates).
+func TestDistinctSeedsDistinctStreams(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		ga, gb := New(a), New(b)
+		// Compare a short prefix; identical prefixes of length 4 would be
+		// astronomically unlikely for a healthy generator.
+		for i := 0; i < 4; i++ {
+			if ga.Next() != gb.Next() {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intn never escapes its bounds for any seed and size.
+func TestIntnBoundsProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		size := int(n%1000) + 1
+		g := New(seed)
+		for i := 0; i < 50; i++ {
+			v := g.Intn(size)
+			if v < 0 || v >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkXoroshiroNext(b *testing.B) {
+	x := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	x := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += x.Intn(1024)
+	}
+	_ = sink
+}

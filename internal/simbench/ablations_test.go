@@ -1,0 +1,77 @@
+package simbench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/numa"
+	"repro/internal/simlocks"
+)
+
+func TestFairnessSweepTradeoff(t *testing.T) {
+	sc := midScale()
+	out := FairnessSweep(sc, 16)
+	if !strings.Contains(out, "0xffff") || !strings.Contains(out, "fairness") {
+		t.Fatalf("sweep output malformed:\n%s", out)
+	}
+	// Parse the throughput/fairness of the extreme masks to verify the
+	// tradeoff direction numerically.
+	tp := map[uint64][2]float64{}
+	run := func(mask uint64) [2]float64 {
+		topo := numa.TwoSocketXeonE5()
+		cfg := DefaultKVMap()
+		build := func(s *memsim.Sim, n int) OpFunc {
+			opts := simlocks.DefaultCNAOptions()
+			opts.KeepLocalMask = mask
+			l := simlocks.NewCNA(s, n, opts)
+			pool := newSharedPool(s, cfg.HotLines)
+			return func(th *memsim.T, op int) {
+				l.Lock(th)
+				pool.readSome(th, cfg.ReadLines)
+				th.Work(cfg.CSComputeNs)
+				l.Unlock(th)
+			}
+		}
+		r := Run(Config{Topo: topo, Costs: memsim.DefaultCosts2S(), Threads: 16,
+			HorizonNs: sc.HorizonNs, Build: build})
+		return [2]float64{r.Throughput, r.Fairness}
+	}
+	tp[0] = run(0)
+	tp[0xffff] = run(0xffff)
+
+	// Mask 0 (FIFO) is fairest; mask 0xffff is fastest.
+	if tp[0][1] > 0.52 {
+		t.Errorf("FIFO mask fairness %.3f, want ~0.5", tp[0][1])
+	}
+	if tp[0xffff][0] <= tp[0][0] {
+		t.Errorf("locality mask throughput %.3f not above FIFO %.3f", tp[0xffff][0], tp[0][0])
+	}
+}
+
+func TestPlacementAblationCNAIsNoOpOnOneSocket(t *testing.T) {
+	sc := midScale()
+	topo := numa.TwoSocketXeonE5()
+	cfg := DefaultKVMap()
+	run := func(lock LockChoice, policy numa.Policy) float64 {
+		return Run(Config{
+			Topo: topo, Costs: memsim.DefaultCosts2S(), Threads: 16,
+			HorizonNs: sc.HorizonNs, Build: KVMap(cfg, lock), Placement: policy,
+		}).Throughput
+	}
+	mcsCompact := run(LockMCS, numa.Compact)
+	cnaCompact := run(LockCNA, numa.Compact)
+	// One socket: CNA within 10% of MCS (no remote handovers to avoid).
+	ratio := cnaCompact / mcsCompact
+	if ratio < 0.90 || ratio > 1.10 {
+		t.Errorf("compact-placement CNA/MCS ratio %.3f, want ~1.0", ratio)
+	}
+	// And compact MCS must beat spread MCS (no cross-socket traffic).
+	mcsSpread := run(LockMCS, numa.Spread)
+	if mcsCompact <= mcsSpread {
+		t.Errorf("compact MCS %.3f not above spread MCS %.3f", mcsCompact, mcsSpread)
+	}
+	if !strings.Contains(PlacementAblation(sc, 16), "compact") {
+		t.Error("PlacementAblation output malformed")
+	}
+}

@@ -1,0 +1,160 @@
+package simlocks
+
+import (
+	"repro/internal/memsim"
+)
+
+// CNA spin-word values: 0 = waiting, 1 = granted with empty secondary
+// queue, >= handleBase = granted, value is the secondary head's handle.
+const handleBase = 2
+
+// cnaNode mirrors cna_node_t: four words on one simulated cache line.
+type cnaNode struct {
+	spin    *memsim.Word
+	socket  *memsim.Word // owner's socket + 1; 0 = not recorded
+	secTail *memsim.Word // handle of the secondary queue's tail
+	next    *memsim.Word // handle of the queue successor
+}
+
+// CNAOptions mirror core.Options for the simulated lock.
+type CNAOptions struct {
+	KeepLocalMask    uint64
+	ShuffleReduction bool
+	ShuffleMask      uint64
+}
+
+// DefaultCNAOptions is the paper's configuration (THRESHOLD = 0xffff).
+func DefaultCNAOptions() CNAOptions { return CNAOptions{KeepLocalMask: 0xffff, ShuffleMask: 0xff} }
+
+// OptCNAOptions is the Section 6 "CNA (opt)" variant.
+func OptCNAOptions() CNAOptions {
+	o := DefaultCNAOptions()
+	o.ShuffleReduction = true
+	return o
+}
+
+// CNA is the simulated compact NUMA-aware lock.
+type CNA struct {
+	tail  *memsim.Word
+	nodes []cnaNode
+	opts  CNAOptions
+}
+
+// NewCNA allocates a simulated CNA lock.
+func NewCNA(s *memsim.Sim, maxThreads int, opts CNAOptions) *CNA {
+	l := &CNA{tail: s.NewWord(0), nodes: make([]cnaNode, maxThreads), opts: opts}
+	for i := range l.nodes {
+		line := s.NewLine()
+		l.nodes[i] = cnaNode{
+			spin:    s.NewWordOn(line, 0),
+			socket:  s.NewWordOn(line, 0),
+			secTail: s.NewWordOn(line, 0),
+			next:    s.NewWordOn(line, 0),
+		}
+	}
+	return l
+}
+
+func cnaHandle(i int) uint64 { return uint64(i) + handleBase }
+
+func (l *CNA) node(h uint64) *cnaNode { return &l.nodes[h-handleBase] }
+
+// Lock implements Mutex (paper Figure 3).
+func (l *CNA) Lock(t *memsim.T) {
+	me := &l.nodes[t.ID()]
+	t.Store(me.next, 0)
+	t.Store(me.socket, 0)
+	t.Store(me.spin, 0)
+	tail := t.Swap(l.tail, cnaHandle(t.ID()))
+	if tail == 0 {
+		t.Store(me.spin, 1)
+		return
+	}
+	t.Store(me.socket, uint64(t.Socket())+1)
+	t.Store(l.node(tail).next, cnaHandle(t.ID()))
+	t.AwaitChange(me.spin, 0)
+}
+
+// Unlock implements Mutex (paper Figure 4).
+func (l *CNA) Unlock(t *memsim.T) {
+	me := &l.nodes[t.ID()]
+	next := t.Load(me.next)
+	if next == 0 {
+		if sp := t.Load(me.spin); sp == 1 {
+			if t.CAS(l.tail, cnaHandle(t.ID()), 0) {
+				return
+			}
+		} else {
+			secHead := l.node(sp)
+			if t.CAS(l.tail, cnaHandle(t.ID()), t.Load(secHead.secTail)) {
+				t.Store(secHead.spin, 1)
+				return
+			}
+		}
+		next = t.AwaitChange(me.next, 0)
+	}
+
+	// Shuffle reduction (Section 6).
+	if l.opts.ShuffleReduction && t.Load(me.spin) == 1 &&
+		t.RNG().Next()&l.opts.ShuffleMask != 0 {
+		t.Store(l.node(next).spin, 1)
+		return
+	}
+
+	var succ uint64
+	if t.RNG().Next()&l.opts.KeepLocalMask != 0 {
+		succ = l.findSuccessor(t, me)
+	}
+	sp := t.Load(me.spin)
+	switch {
+	case succ != 0:
+		t.Store(l.node(succ).spin, t.Load(me.spin))
+	case sp > 1:
+		secHead := l.node(sp)
+		t.Store(l.node(t.Load(secHead.secTail)).next, next)
+		t.Store(secHead.spin, 1)
+	default:
+		t.Store(l.node(next).spin, 1)
+	}
+}
+
+// findSuccessor implements paper Figure 5 over simulated memory. Every
+// cur.socket read the traversal performs is a real (charged) access to a
+// remote waiter's node line — the cost the shuffle-reduction
+// optimisation exists to avoid.
+func (l *CNA) findSuccessor(t *memsim.T, me *cnaNode) uint64 {
+	next := t.Load(me.next)
+	mySocket := uint64(t.Socket()) + 1
+	if s := t.Load(me.socket); s != 0 {
+		mySocket = s
+	}
+	if t.Load(l.node(next).socket) == mySocket {
+		return next
+	}
+	secHead := next
+	secTail := next
+	cur := t.Load(l.node(next).next)
+	for cur != 0 {
+		if t.Load(l.node(cur).socket) == mySocket {
+			if sp := t.Load(me.spin); sp > 1 {
+				t.Store(l.node(t.Load(l.node(sp).secTail)).next, secHead)
+			} else {
+				t.Store(me.spin, secHead)
+			}
+			t.Store(l.node(secTail).next, 0)
+			t.Store(l.node(t.Load(me.spin)).secTail, secTail)
+			return cur
+		}
+		secTail = cur
+		cur = t.Load(l.node(cur).next)
+	}
+	return 0
+}
+
+// Name implements Mutex.
+func (l *CNA) Name() string {
+	if l.opts.ShuffleReduction {
+		return "CNA (opt)"
+	}
+	return "CNA"
+}

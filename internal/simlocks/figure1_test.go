@@ -1,0 +1,113 @@
+package simlocks
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/numa"
+)
+
+// TestFigure1AdmissionOrderInSim replays the paper's Figure 1 running
+// example on the simulated CNA lock, cross-validating the simulator-side
+// implementation against the same scenario the white-box test in
+// internal/core replays on the real implementation.
+//
+// Threads t1, t4, t5 run on socket 0; t2, t3, t6, t7 on socket 1.
+// Arrivals are staged in virtual time so the queue forms exactly as in
+// Figure 1(a): t1 holds, t2..t6 queue in order; t1 re-enters during
+// t4's critical section; t7 arrives during t5's. Expected admission
+// order (paper steps (b)-(g)):
+//
+//	t1, t4, t5, t1, t2, t3, t6, t7
+func TestFigure1AdmissionOrderInSim(t *testing.T) {
+	s := memsim.New(numa.TwoSocketXeonE5(), memsim.DefaultCosts2S())
+	opts := DefaultCNAOptions()
+	opts.KeepLocalMask = ^uint64(0) // keep_lock_local always true
+	l := NewCNA(s, 8, opts)
+
+	var admissions []string
+
+	// spawn wires one scripted thread: arrive at `arrive`, hold the lock
+	// for `hold`, optionally re-arrive after `rearrive` (0 = once).
+	spawn := func(name string, cpu int, arrive, hold, rearrive, hold2 uint64) {
+		s.Spawn(cpu, func(th *memsim.T) {
+			th.Work(arrive)
+			l.Lock(th)
+			admissions = append(admissions, name)
+			th.Work(hold)
+			l.Unlock(th)
+			if rearrive > 0 {
+				th.Work(rearrive)
+				l.Lock(th)
+				admissions = append(admissions, name)
+				th.Work(hold2)
+				l.Unlock(th)
+			}
+		})
+	}
+
+	// Socket assignment: even CPUs are socket 0, odd are socket 1.
+	spawn("t1", 0, 0, 5000, 10, 50) // socket 0; re-enters right after releasing
+	spawn("t2", 1, 500, 10, 0, 0)   // socket 1
+	spawn("t3", 3, 700, 10, 0, 0)   // socket 1
+	spawn("t4", 2, 900, 3000, 0, 0) // socket 0
+	spawn("t5", 4, 1100, 3000, 0, 0)
+	spawn("t6", 5, 1300, 10, 0, 0)
+	spawn("t7", 7, 6000, 10, 0, 0) // socket 1; arrives during t4/t5's holds
+	s.Run()
+
+	want := []string{"t1", "t4", "t5", "t1", "t2", "t3", "t6", "t7"}
+	if len(admissions) != len(want) {
+		t.Fatalf("admissions = %v, want %v", admissions, want)
+	}
+	for i := range want {
+		if admissions[i] != want[i] {
+			t.Fatalf("admission order %v, want %v (diverges at %d)", admissions, want, i)
+		}
+	}
+}
+
+// TestFigure1OrderUnderMCSIsFIFO runs the identical schedule on the
+// simulated MCS lock: admission must be pure arrival order, which is
+// what makes the CNA reordering above observable.
+func TestFigure1OrderUnderMCSIsFIFO(t *testing.T) {
+	s := memsim.New(numa.TwoSocketXeonE5(), memsim.DefaultCosts2S())
+	l := NewMCS(s, 8)
+	var admissions []string
+	spawn := func(name string, cpu int, arrive, hold, rearrive, hold2 uint64) {
+		s.Spawn(cpu, func(th *memsim.T) {
+			th.Work(arrive)
+			l.Lock(th)
+			admissions = append(admissions, name)
+			th.Work(hold)
+			l.Unlock(th)
+			if rearrive > 0 {
+				th.Work(rearrive)
+				l.Lock(th)
+				admissions = append(admissions, name)
+				th.Work(hold2)
+				l.Unlock(th)
+			}
+		})
+	}
+	spawn("t1", 0, 0, 5000, 10, 50)
+	spawn("t2", 1, 500, 10, 0, 0)
+	spawn("t3", 3, 700, 10, 0, 0)
+	spawn("t4", 2, 900, 3000, 0, 0)
+	spawn("t5", 4, 1100, 3000, 0, 0)
+	spawn("t6", 5, 1300, 10, 0, 0)
+	spawn("t7", 7, 6000, 10, 0, 0)
+	s.Run()
+
+	// FIFO: t1, then arrival order t2..t6, then the re-arrived t1 and t7
+	// in whatever order they joined the queue — but strictly no
+	// socket-based reordering among t2..t6.
+	if admissions[0] != "t1" {
+		t.Fatalf("first holder %q", admissions[0])
+	}
+	for i, name := range []string{"t2", "t3", "t4", "t5", "t6"} {
+		if admissions[i+1] != name {
+			t.Fatalf("MCS admissions %v not FIFO at %d", admissions, i+1)
+		}
+	}
+}

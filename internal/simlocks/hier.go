@@ -1,0 +1,195 @@
+package simlocks
+
+import (
+	"math"
+
+	"repro/internal/memsim"
+)
+
+// ---- C-BO-MCS (Lock Cohorting: backoff-TAS global, MCS locals) ----
+
+// cohort local-MCS status values.
+const (
+	coWait    uint64 = 0
+	coNoPass  uint64 = 1
+	coGotPass uint64 = 2
+)
+
+// CBOMCS is the simulated C-BO-MCS cohort lock.
+type CBOMCS struct {
+	global  *BackoffTAS
+	tails   []*memsim.Word // per-socket local MCS tails
+	nodes   []mcsNode      // per-thread local queue nodes
+	passes  []*memsim.Word // per-socket consecutive-pass counters (holder-only)
+	maxPass uint64
+}
+
+// NewCBOMCS allocates a simulated C-BO-MCS for the simulator's topology.
+func NewCBOMCS(s *memsim.Sim, sockets, maxThreads int, maxPass uint64) *CBOMCS {
+	l := &CBOMCS{
+		global:  NewBackoffTAS(s, 128, 8192),
+		tails:   make([]*memsim.Word, sockets),
+		nodes:   make([]mcsNode, maxThreads),
+		passes:  make([]*memsim.Word, sockets),
+		maxPass: maxPass,
+	}
+	for i := range l.tails {
+		l.tails[i] = s.NewWord(0)
+		l.passes[i] = s.NewWord(0)
+	}
+	for i := range l.nodes {
+		line := s.NewLine()
+		l.nodes[i] = mcsNode{next: s.NewWordOn(line, 0), spin: s.NewWordOn(line, 0)}
+	}
+	return l
+}
+
+// Lock implements Mutex.
+func (l *CBOMCS) Lock(t *memsim.T) {
+	tail := l.tails[t.Socket()]
+	me := &l.nodes[t.ID()]
+	t.Store(me.next, 0)
+	t.Store(me.spin, coWait)
+	prev := t.Swap(tail, handle(t.ID()))
+	if prev != 0 {
+		t.Store(l.nodes[prev-1].next, handle(t.ID()))
+		if t.AwaitChange(me.spin, coWait) == coGotPass {
+			return // global ownership passed within the cohort
+		}
+	}
+	l.global.Lock(t)
+}
+
+// Unlock implements Mutex.
+func (l *CBOMCS) Unlock(t *memsim.T) {
+	sock := t.Socket()
+	me := &l.nodes[t.ID()]
+	passes := t.Load(l.passes[sock])
+	next := t.Load(me.next)
+	if next != 0 && passes < l.maxPass {
+		t.Store(l.passes[sock], passes+1)
+		t.Store(l.nodes[next-1].spin, coGotPass)
+		return
+	}
+	t.Store(l.passes[sock], 0)
+	l.global.Unlock(t)
+	if next == 0 {
+		if t.CAS(l.tails[sock], handle(t.ID()), 0) {
+			return
+		}
+		next = t.AwaitChange(me.next, 0)
+	}
+	t.Store(l.nodes[next-1].spin, coNoPass)
+}
+
+// Name implements Mutex.
+func (l *CBOMCS) Name() string { return "C-BO-MCS" }
+
+// ---- HMCS (two-level hierarchical MCS) ----
+
+// hmcsNode statuses: 0 = wait; 1..threshold = cohort pass count;
+// hmcsAcqParent = promoted, must take the root lock.
+const hmcsAcqParent uint64 = math.MaxUint64 - 1
+
+// hmcsLeaf is one socket's queue plus its embedded root-queue node.
+type hmcsLeaf struct {
+	tail     *memsim.Word
+	rootNext *memsim.Word
+	rootSpin *memsim.Word
+}
+
+// HMCS is the simulated two-level HMCS lock.
+type HMCS struct {
+	rootTail  *memsim.Word
+	leaves    []hmcsLeaf
+	nodes     []mcsNode // per-thread leaf nodes (next + status words)
+	threshold uint64
+}
+
+// NewHMCS allocates a simulated HMCS for the given socket count.
+func NewHMCS(s *memsim.Sim, sockets, maxThreads int, threshold uint64) *HMCS {
+	l := &HMCS{
+		rootTail:  s.NewWord(0),
+		leaves:    make([]hmcsLeaf, sockets),
+		nodes:     make([]mcsNode, maxThreads),
+		threshold: threshold,
+	}
+	for i := range l.leaves {
+		line := s.NewLine()
+		l.leaves[i] = hmcsLeaf{
+			tail:     s.NewWord(0),
+			rootNext: s.NewWordOn(line, 0),
+			rootSpin: s.NewWordOn(line, 0),
+		}
+	}
+	for i := range l.nodes {
+		line := s.NewLine()
+		l.nodes[i] = mcsNode{next: s.NewWordOn(line, 0), spin: s.NewWordOn(line, 0)}
+	}
+	return l
+}
+
+// rootHandle encodes socket i's embedded root node.
+func rootHandle(i int) uint64 { return uint64(i) + 1 }
+
+// Lock implements Mutex.
+func (l *HMCS) Lock(t *memsim.T) {
+	leaf := &l.leaves[t.Socket()]
+	me := &l.nodes[t.ID()]
+	t.Store(me.next, 0)
+	t.Store(me.spin, 0)
+	prev := t.Swap(leaf.tail, handle(t.ID()))
+	if prev != 0 {
+		t.Store(l.nodes[prev-1].next, handle(t.ID()))
+		status := t.AwaitChange(me.spin, 0)
+		if status != hmcsAcqParent {
+			return // passed within the cohort; status = pass count
+		}
+	}
+	t.Store(me.spin, 1) // cohort start
+	// Acquire the root MCS lock with the leaf's embedded node.
+	t.Store(leaf.rootNext, 0)
+	t.Store(leaf.rootSpin, 0)
+	rprev := t.Swap(l.rootTail, rootHandle(t.Socket()))
+	if rprev != 0 {
+		t.Store(l.leaves[rprev-1].rootNext, rootHandle(t.Socket()))
+		t.AwaitChange(leaf.rootSpin, 0)
+	}
+}
+
+// Unlock implements Mutex.
+func (l *HMCS) Unlock(t *memsim.T) {
+	leaf := &l.leaves[t.Socket()]
+	me := &l.nodes[t.ID()]
+	count := t.Load(me.spin)
+	if count < l.threshold {
+		if next := t.Load(me.next); next != 0 {
+			t.Store(l.nodes[next-1].spin, count+1)
+			return
+		}
+	}
+	l.releaseRoot(t, leaf)
+	next := t.Load(me.next)
+	if next == 0 {
+		if t.CAS(leaf.tail, handle(t.ID()), 0) {
+			return
+		}
+		next = t.AwaitChange(me.next, 0)
+	}
+	t.Store(l.nodes[next-1].spin, hmcsAcqParent)
+}
+
+// releaseRoot is a plain MCS release of the root queue.
+func (l *HMCS) releaseRoot(t *memsim.T, leaf *hmcsLeaf) {
+	next := t.Load(leaf.rootNext)
+	if next == 0 {
+		if t.CAS(l.rootTail, rootHandle(t.Socket()), 0) {
+			return
+		}
+		next = t.AwaitChange(leaf.rootNext, 0)
+	}
+	t.Store(l.leaves[next-1].rootSpin, 1)
+}
+
+// Name implements Mutex.
+func (l *HMCS) Name() string { return "HMCS" }

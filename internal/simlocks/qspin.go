@@ -1,0 +1,236 @@
+package simlocks
+
+import (
+	"repro/internal/memsim"
+)
+
+// Simulated qspinlock word layout (same as internal/qspin and the
+// kernel): locked byte, pending bit, 16-bit tail encoding.
+const (
+	qLocked    uint64 = 1
+	qLockMask  uint64 = 0xff
+	qPending   uint64 = 1 << 8
+	qTailShift        = 16
+	qTailMask  uint64 = 0xffff << qTailShift
+)
+
+// qsNode is a per-thread queue node; in the kernel these are the per-CPU
+// qnodes. spin doubles as the CNA secondary-head carrier: 0 = wait,
+// 1 = queue head with empty secondary queue, >= 2 = queue head and the
+// value is the secondary head's handle.
+type qsNode struct {
+	spin    *memsim.Word
+	socket  *memsim.Word
+	secTail *memsim.Word
+	next    *memsim.Word
+}
+
+// QSpin is a simulated Linux qspinlock with selectable slow path.
+type QSpin struct {
+	val           *memsim.Word
+	nodes         []qsNode
+	cna           bool
+	keepLocalMask uint64 // CNA's fairness threshold
+
+	// Contention counters (simulation is serialised, so plain fields are
+	// safe). These drive the lockstat-style contention report (Table 1).
+	acquisitions uint64
+	slowpath     uint64
+}
+
+// Acquisitions returns the total lock acquisitions observed.
+func (l *QSpin) Acquisitions() uint64 { return l.acquisitions }
+
+// SlowPathCount returns how many acquisitions entered the MCS queue —
+// the lockstat-like signal of real contention.
+func (l *QSpin) SlowPathCount() uint64 { return l.slowpath }
+
+// NewQSpin allocates a simulated qspinlock domain for maxThreads threads.
+// cna selects the CNA slow path; false gives the stock MCS slow path.
+func NewQSpin(s *memsim.Sim, maxThreads int, cna bool) *QSpin {
+	l := &QSpin{
+		val:           s.NewWord(0),
+		nodes:         make([]qsNode, maxThreads),
+		cna:           cna,
+		keepLocalMask: 0xffff,
+	}
+	for i := range l.nodes {
+		line := s.NewLine()
+		l.nodes[i] = qsNode{
+			spin:    s.NewWordOn(line, 0),
+			socket:  s.NewWordOn(line, 0),
+			secTail: s.NewWordOn(line, 0),
+			next:    s.NewWordOn(line, 0),
+		}
+	}
+	return l
+}
+
+// qH encodes thread id as a node handle, used uniformly for the tail
+// bits, next links, secTail and spin-carried secondary heads. Handles
+// start at 2 so the spin word's 0 (wait) and 1 (granted, no secondary)
+// stay unambiguous; 0 in the tail bits still means "no queue" because
+// handles are never 0.
+func qH(id int) uint64 { return uint64(id) + 2 }
+
+// node resolves a handle.
+func (l *QSpin) node(h uint64) *qsNode { return &l.nodes[h-2] }
+
+// Lock implements Mutex.
+func (l *QSpin) Lock(t *memsim.T) {
+	l.acquisitions++
+	// Fast path.
+	if t.CAS(l.val, 0, qLocked) {
+		return
+	}
+	l.slowPath(t)
+}
+
+// Unlock implements Mutex: clear the locked byte, exactly like
+// queued_spin_unlock.
+func (l *QSpin) Unlock(t *memsim.T) {
+	t.FetchAdd(l.val, ^uint64(0)) // subtract the locked byte
+}
+
+// Name implements Mutex.
+func (l *QSpin) Name() string {
+	if l.cna {
+		return "CNA"
+	}
+	return "stock"
+}
+
+func (l *QSpin) slowPath(t *memsim.T) {
+	// Pending path: single uncontended waiter spins on the lock word.
+	for {
+		val := t.Load(l.val)
+		if val == 0 {
+			if t.CAS(l.val, 0, qLocked) {
+				return
+			}
+			continue
+		}
+		if val&^qLockMask != 0 {
+			break // pending or tail set: real contention, go queue
+		}
+		if t.CAS(l.val, val, val|qPending) {
+			v := t.Load(l.val)
+			for v&qLockMask != 0 {
+				v = t.AwaitChange(l.val, v)
+			}
+			// Claim: set locked, clear pending (wrapping delta 1-256).
+			t.FetchAdd(l.val, qLocked+^qPending+1)
+			return
+		}
+	}
+	l.queue(t)
+}
+
+func (l *QSpin) queue(t *memsim.T) {
+	l.slowpath++
+	me := &l.nodes[t.ID()]
+	t.Store(me.spin, 0)
+	t.Store(me.next, 0)
+	t.Store(me.socket, uint64(t.Socket())+1)
+
+	// Exchange the tail bits, preserving the rest of the word.
+	var old uint64
+	for {
+		old = t.Load(l.val)
+		nv := old&^qTailMask | qH(t.ID())<<qTailShift
+		if t.CAS(l.val, old, nv) {
+			break
+		}
+	}
+	if oldTail := (old & qTailMask) >> qTailShift; oldTail != 0 {
+		t.Store(l.node(oldTail).next, qH(t.ID()))
+		t.AwaitChange(me.spin, 0)
+	} else {
+		t.Store(me.spin, 1) // empty secondary queue marker (paper line 8)
+	}
+
+	// Queue head: wait for locked and pending to clear.
+	v := t.Load(l.val)
+	for v&(qLockMask|qPending) != 0 {
+		v = t.AwaitChange(l.val, v)
+	}
+
+	// Last waiter? Try to clear the tail — or, under CNA with a live
+	// secondary queue, swing the tail to the secondary tail and promote
+	// the secondary head (cna_try_clear_tail).
+	if (v&qTailMask)>>qTailShift == qH(t.ID()) {
+		sp := t.Load(me.spin)
+		if !l.cna || sp <= 1 {
+			if t.CAS(l.val, v, qLocked) {
+				return
+			}
+		} else {
+			secHead := l.node(sp)
+			secTail := t.Load(secHead.secTail)
+			if t.CAS(l.val, v, qLocked|secTail<<qTailShift) {
+				t.Store(secHead.spin, 1)
+				return
+			}
+		}
+	}
+
+	// Take the lock (tail stays: waiters exist), then promote the next
+	// queue head.
+	t.FetchAdd(l.val, qLocked)
+	next := t.Load(me.next)
+	for next == 0 {
+		next = t.AwaitChange(me.next, 0)
+	}
+	l.promote(t, me, next)
+}
+
+// promote wakes the next queue head; under CNA it prefers a same-socket
+// waiter and maintains the secondary queue.
+func (l *QSpin) promote(t *memsim.T, me *qsNode, next uint64) {
+	if !l.cna {
+		t.Store(l.node(next).spin, 1)
+		return
+	}
+	var succ uint64
+	if t.RNG().Next()&l.keepLocalMask != 0 {
+		succ = l.findSuccessor(t, me, next)
+	}
+	sp := t.Load(me.spin)
+	switch {
+	case succ != 0:
+		t.Store(l.node(succ).spin, t.Load(me.spin))
+	case sp > 1:
+		secHead := l.node(sp)
+		t.Store(l.node(t.Load(secHead.secTail)).next, next)
+		t.Store(secHead.spin, 1)
+	default:
+		t.Store(l.node(next).spin, 1)
+	}
+}
+
+// findSuccessor scans for a same-socket waiter, moving skipped nodes to
+// the secondary queue (paper Figure 5 with handles).
+func (l *QSpin) findSuccessor(t *memsim.T, me *qsNode, next uint64) uint64 {
+	mySocket := uint64(t.Socket()) + 1
+	if t.Load(l.node(next).socket) == mySocket {
+		return next
+	}
+	secHead := next
+	secTail := next
+	cur := t.Load(l.node(next).next)
+	for cur != 0 {
+		if t.Load(l.node(cur).socket) == mySocket {
+			if sp := t.Load(me.spin); sp > 1 {
+				t.Store(l.node(t.Load(l.node(sp).secTail)).next, secHead)
+			} else {
+				t.Store(me.spin, secHead)
+			}
+			t.Store(l.node(secTail).next, 0)
+			t.Store(l.node(t.Load(me.spin)).secTail, secTail)
+			return cur
+		}
+		secTail = cur
+		cur = t.Load(l.node(cur).next)
+	}
+	return 0
+}

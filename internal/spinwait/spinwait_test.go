@@ -1,0 +1,98 @@
+package spinwait
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSpinnerMakesProgressOnOneCore(t *testing.T) {
+	// A waiter spinning with Pause must observe a flag set by another
+	// goroutine even when GOMAXPROCS=1, because Pause yields.
+	var flag atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		flag.Store(true)
+		close(done)
+	}()
+	var s Spinner
+	deadline := time.Now().Add(5 * time.Second)
+	for !flag.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("spinner starved the flag-setting goroutine")
+		}
+		s.Pause()
+	}
+	<-done
+}
+
+func TestSpinnerReset(t *testing.T) {
+	var s Spinner
+	for i := 0; i < 100; i++ {
+		s.Pause()
+	}
+	s.Reset()
+	if s.n != 0 {
+		t.Fatalf("after Reset, n = %d, want 0", s.n)
+	}
+}
+
+func TestStatelessPauseYields(t *testing.T) {
+	var flag atomic.Bool
+	go flag.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for !flag.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("Pause() did not yield")
+		}
+		Pause()
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	b := NewBackoff(2, 16, 1)
+	want := []uint{4, 8, 16, 16, 16}
+	for i, w := range want {
+		b.Wait()
+		if b.Cur() != w {
+			t.Fatalf("after Wait %d, Cur() = %d, want %d", i+1, b.Cur(), w)
+		}
+	}
+}
+
+func TestBackoffReset(t *testing.T) {
+	b := NewBackoff(2, 64, 1)
+	for i := 0; i < 10; i++ {
+		b.Wait()
+	}
+	b.Reset()
+	if b.Cur() != 2 {
+		t.Fatalf("after Reset, Cur() = %d, want 2", b.Cur())
+	}
+}
+
+func TestBackoffZeroMinNormalised(t *testing.T) {
+	b := NewBackoff(0, 0, 0)
+	if b.Cur() != 1 {
+		t.Fatalf("NewBackoff(0,0).Cur() = %d, want 1", b.Cur())
+	}
+	b.Wait() // must not divide by zero or hang
+}
+
+func TestBackoffMaxBelowMinNormalised(t *testing.T) {
+	b := NewBackoff(8, 2, 3)
+	if b.Cur() != 8 {
+		t.Fatalf("Cur() = %d, want 8", b.Cur())
+	}
+	b.Wait()
+	if b.Cur() != 8 {
+		t.Fatalf("after Wait, Cur() = %d, want cap 8", b.Cur())
+	}
+}
+
+func BenchmarkPause(b *testing.B) {
+	var s Spinner
+	for i := 0; i < b.N; i++ {
+		s.Pause()
+	}
+}

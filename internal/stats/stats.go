@@ -1,0 +1,206 @@
+// Package stats implements the summary statistics the paper reports:
+// throughput means over repeated runs, standard deviations (the paper
+// notes stddev < 3% for most results), and the long-term fairness factor
+// of Section 7.1.1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator),
+// or 0 when fewer than two samples exist.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// RelStdDev returns the standard deviation as a fraction of the mean
+// (coefficient of variation), or 0 when the mean is 0.
+func RelStdDev(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// FairnessFactor computes the paper's long-term fairness metric:
+// sort per-thread operation counts in decreasing order, and divide the
+// total of the first half of the threads by the grand total. A strictly
+// fair lock yields 0.5; a strictly unfair lock yields a value close to 1.
+//
+// With an odd number of threads the "first half" is the larger half's
+// integer floor plus a proportional share of the middle thread, keeping
+// the metric at exactly 0.5 for perfectly equal counts regardless of
+// parity. A single thread is trivially fair (0.5). Zero total yields 0.5.
+func FairnessFactor(opsPerThread []uint64) float64 {
+	n := len(opsPerThread)
+	if n == 0 {
+		return 0.5
+	}
+	sorted := make([]uint64, n)
+	copy(sorted, opsPerThread)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+
+	var total float64
+	for _, v := range sorted {
+		total += float64(v)
+	}
+	if total == 0 {
+		return 0.5
+	}
+	half := float64(n) / 2
+	var top float64
+	for i := 0; i < n && float64(i) < half; i++ {
+		share := 1.0
+		if rem := half - float64(i); rem < 1 {
+			share = rem // fractional share of the middle thread
+		}
+		top += share * float64(sorted[i])
+	}
+	return top / total
+}
+
+// Point is one (threads, value) sample of a series.
+type Point struct {
+	Threads int
+	Value   float64
+}
+
+// Series is a named curve, e.g. one lock's throughput across thread counts.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// At returns the value at the given thread count and whether it exists.
+func (s *Series) At(threads int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.Threads == threads {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Add appends a point.
+func (s *Series) Add(threads int, value float64) {
+	s.Points = append(s.Points, Point{Threads: threads, Value: value})
+}
+
+// MaxThreads returns the largest thread count in the series (0 if empty).
+func (s *Series) MaxThreads() int {
+	max := 0
+	for _, p := range s.Points {
+		if p.Threads > max {
+			max = p.Threads
+		}
+	}
+	return max
+}
+
+// Table renders a set of series as an aligned text table with one row per
+// thread count, in the spirit of the paper's figures. Values are printed
+// with prec decimal places.
+func Table(title, unit string, prec int, series []*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (%s)\n", title, unit)
+	// Collect the union of thread counts.
+	threadSet := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			threadSet[p.Threads] = true
+		}
+	}
+	threads := make([]int, 0, len(threadSet))
+	for t := range threadSet {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+
+	// Header.
+	fmt.Fprintf(&b, "%-8s", "threads")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, t := range threads {
+		fmt.Fprintf(&b, "%-8d", t)
+		for _, s := range series {
+			if v, ok := s.At(t); ok {
+				fmt.Fprintf(&b, " %14.*f", prec, v)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Speedup returns a/b - 1 expressed as a percentage ("a is X% faster than
+// b"). Returns 0 if b is 0.
+func Speedup(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (a/b - 1) * 100
+}
+
+// CSV renders series as comma-separated values with a threads column, for
+// external plotting.
+func CSV(series []*Series) string {
+	var b strings.Builder
+	b.WriteString("threads")
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	threadSet := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			threadSet[p.Threads] = true
+		}
+	}
+	threads := make([]int, 0, len(threadSet))
+	for t := range threadSet {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+	for _, t := range threads {
+		fmt.Fprintf(&b, "%d", t)
+		for _, s := range series {
+			b.WriteByte(',')
+			if v, ok := s.At(t); ok {
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

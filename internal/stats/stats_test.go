@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev of constants = %v, want 0", got)
+	}
+	if got := StdDev([]float64{1}); got != 0 {
+		t.Errorf("StdDev of singleton = %v, want 0", got)
+	}
+	// Known sample: {2,4,4,4,5,5,7,9} has sample stddev sqrt(32/7).
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestRelStdDev(t *testing.T) {
+	if got := RelStdDev([]float64{0, 0}); got != 0 {
+		t.Errorf("RelStdDev zero-mean = %v, want 0", got)
+	}
+	got := RelStdDev([]float64{9, 11})
+	want := StdDev([]float64{9, 11}) / 10
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("RelStdDev = %v, want %v", got, want)
+	}
+}
+
+func TestFairnessFactorStrictlyFair(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 70} {
+		ops := make([]uint64, n)
+		for i := range ops {
+			ops[i] = 1000
+		}
+		if got := FairnessFactor(ops); !almostEqual(got, 0.5, 1e-12) {
+			t.Errorf("equal counts, n=%d: fairness = %v, want 0.5", n, got)
+		}
+	}
+}
+
+func TestFairnessFactorStrictlyUnfair(t *testing.T) {
+	// One thread does everything: with n threads the top half includes it,
+	// so the factor is 1.
+	ops := make([]uint64, 10)
+	ops[3] = 100000
+	if got := FairnessFactor(ops); !almostEqual(got, 1.0, 1e-12) {
+		t.Errorf("single-thread-dominates fairness = %v, want 1", got)
+	}
+}
+
+func TestFairnessFactorHalfAndHalf(t *testing.T) {
+	// Half the threads do 3x the ops of the other half:
+	// top half total = 4*3 = 12, grand total = 12+4 = 16 → 0.75.
+	ops := []uint64{3, 3, 3, 3, 1, 1, 1, 1}
+	if got := FairnessFactor(ops); !almostEqual(got, 0.75, 1e-12) {
+		t.Errorf("fairness = %v, want 0.75", got)
+	}
+}
+
+func TestFairnessFactorEdge(t *testing.T) {
+	if got := FairnessFactor(nil); got != 0.5 {
+		t.Errorf("FairnessFactor(nil) = %v, want 0.5", got)
+	}
+	if got := FairnessFactor([]uint64{0, 0, 0}); got != 0.5 {
+		t.Errorf("all-zero fairness = %v, want 0.5", got)
+	}
+}
+
+// Property: fairness factor is always within [0.5, 1] for any counts.
+func TestFairnessFactorRangeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ops := make([]uint64, len(raw))
+		for i, v := range raw {
+			ops[i] = uint64(v)
+		}
+		ff := FairnessFactor(ops)
+		return ff >= 0.5-1e-9 && ff <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fairness factor is permutation-invariant.
+func TestFairnessFactorPermutationProperty(t *testing.T) {
+	f := func(raw []uint16, rot uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		ops := make([]uint64, len(raw))
+		for i, v := range raw {
+			ops[i] = uint64(v)
+		}
+		r := int(rot) % len(ops)
+		rotated := append(append([]uint64{}, ops[r:]...), ops[:r]...)
+		return almostEqual(FairnessFactor(ops), FairnessFactor(rotated), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesAtAndAdd(t *testing.T) {
+	var s Series
+	s.Name = "MCS"
+	s.Add(1, 5.3)
+	s.Add(2, 1.7)
+	if v, ok := s.At(2); !ok || v != 1.7 {
+		t.Errorf("At(2) = %v,%v", v, ok)
+	}
+	if _, ok := s.At(3); ok {
+		t.Error("At(3) found a missing point")
+	}
+	if s.MaxThreads() != 2 {
+		t.Errorf("MaxThreads = %d", s.MaxThreads())
+	}
+}
+
+func TestTableRendersAllSeries(t *testing.T) {
+	a := &Series{Name: "MCS"}
+	a.Add(1, 5.3)
+	a.Add(2, 1.7)
+	b := &Series{Name: "CNA"}
+	b.Add(1, 5.3)
+	out := Table("Fig 6", "ops/us", 2, []*Series{a, b})
+	for _, want := range []string{"Fig 6", "MCS", "CNA", "5.30", "1.70", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a := &Series{Name: "MCS"}
+	a.Add(1, 5.3)
+	out := CSV([]*Series{a})
+	if !strings.HasPrefix(out, "threads,MCS\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, "1,5.3") {
+		t.Errorf("CSV missing row: %q", out)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(1.4, 1.0); !almostEqual(got, 40, 1e-9) {
+		t.Errorf("Speedup(1.4,1) = %v, want 40", got)
+	}
+	if got := Speedup(1, 0); got != 0 {
+		t.Errorf("Speedup(1,0) = %v, want 0", got)
+	}
+}

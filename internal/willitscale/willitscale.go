@@ -1,0 +1,176 @@
+// Package willitscale drives the four Section 7.2.2 microbenchmarks
+// against the kernelsim mini-VFS: lock1_threads, lock2_threads,
+// open1_threads and open2_threads, each stressing the spin locks Table 1
+// identifies. Threads share one process (one files_struct), exactly like
+// will-it-scale's threaded mode — that sharing is what makes
+// files_struct.file_lock contend.
+package willitscale
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kernelsim"
+	"repro/internal/qspin"
+	"repro/internal/stats"
+)
+
+// Bench names one microbenchmark.
+type Bench string
+
+// The four benchmarks of Figure 15.
+const (
+	Lock1 Bench = "lock1_threads"
+	Lock2 Bench = "lock2_threads"
+	Open1 Bench = "open1_threads"
+	Open2 Bench = "open2_threads"
+)
+
+// All returns the benchmarks in figure order.
+func All() []Bench { return []Bench{Lock1, Lock2, Open1, Open2} }
+
+// Result is one run's outcome.
+type Result struct {
+	Bench        Bench
+	Threads      int
+	TotalOps     uint64
+	OpsPerThread []uint64
+	Fairness     float64
+	Throughput   float64 // ops per microsecond
+}
+
+// Run executes the benchmark for the given duration with one worker per
+// virtual CPU index.
+func Run(bench Bench, d *qspin.Domain, threads int, duration time.Duration) (Result, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	if duration <= 0 {
+		duration = 50 * time.Millisecond
+	}
+	k := kernelsim.NewKernel(d)
+	fs := kernelsim.NewFilesStruct(threads*8 + 64)
+	tmp := k.LookupOrCreateDir(0, k.Root, "tmp")
+
+	// Per-benchmark setup.
+	op, err := buildOp(bench, k, fs, tmp, threads)
+	if err != nil {
+		return Result{}, err
+	}
+
+	ops := make([]uint64, threads)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			var count uint64
+			for !stop.Load() {
+				if err := op(cpu); err != nil {
+					errCh <- err
+					return
+				}
+				count++
+			}
+			ops[cpu] = count
+		}(w)
+	}
+	start := time.Now()
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return Result{}, err
+	default:
+	}
+
+	var total uint64
+	for _, c := range ops {
+		total += c
+	}
+	return Result{
+		Bench:        bench,
+		Threads:      threads,
+		TotalOps:     total,
+		OpsPerThread: ops,
+		Fairness:     stats.FairnessFactor(ops),
+		Throughput:   float64(total) / (float64(elapsed.Nanoseconds()) / 1000),
+	}, nil
+}
+
+// buildOp prepares benchmark state and returns the per-op function.
+func buildOp(bench Bench, k *kernelsim.Kernel, fs *kernelsim.FilesStruct, tmp *kernelsim.Dentry, threads int) (func(cpu int) error, error) {
+	switch bench {
+	case Lock1:
+		// Each thread fcntl-locks/unlocks its own pre-opened file. The
+		// flc locks are private; files_struct.file_lock is shared (fd
+		// lookups from fcntl_setlk, plus the __alloc_fd/__close_fd pair
+		// of the benchmark's per-iteration dup of the file).
+		fds := make([]int, threads)
+		for i := 0; i < threads; i++ {
+			fd, err := k.Open(i, fs, tmp, fmt.Sprintf("lock1-%d", i))
+			if err != nil {
+				return nil, err
+			}
+			fds[i] = fd
+		}
+		return func(cpu int) error {
+			lk := kernelsim.PosixLock{Owner: cpu, Type: kernelsim.WriteLock, Start: 0, End: 8}
+			if err := k.FcntlSetLk(cpu, fs, fds[cpu], lk); err != nil {
+				return err
+			}
+			return k.FcntlUnlock(cpu, fs, fds[cpu], cpu, 0, 8)
+		}, nil
+
+	case Lock2:
+		// All threads lock/unlock disjoint ranges of one shared file:
+		// contention lands on file_lock_context.flc_lock via
+		// posix_lock_inode.
+		fd, err := k.Open(0, fs, tmp, "lock2-shared")
+		if err != nil {
+			return nil, err
+		}
+		return func(cpu int) error {
+			start := uint64(cpu) * 64
+			lk := kernelsim.PosixLock{Owner: cpu, Type: kernelsim.WriteLock, Start: start, End: start + 8}
+			if err := k.FcntlSetLk(cpu, fs, fd, lk); err != nil {
+				return err
+			}
+			return k.FcntlUnlock(cpu, fs, fd, cpu, start, start+8)
+		}, nil
+
+	case Open1:
+		// Each thread opens and closes its own file in the shared /tmp
+		// directory: file_lock (alloc/close) plus the directory dentry's
+		// lockref.
+		return func(cpu int) error {
+			fd, err := k.Open(cpu, fs, tmp, fmt.Sprintf("open1-%d", cpu))
+			if err != nil {
+				return err
+			}
+			return k.Close(cpu, fs, fd)
+		}, nil
+
+	case Open2:
+		// Like Open1 but each thread uses a private directory, leaving
+		// only file_lock contended.
+		dirs := make([]*kernelsim.Dentry, threads)
+		for i := 0; i < threads; i++ {
+			dirs[i] = k.LookupOrCreateDir(i, k.Root, fmt.Sprintf("dir-%d", i))
+		}
+		return func(cpu int) error {
+			fd, err := k.Open(cpu, fs, dirs[cpu], "f")
+			if err != nil {
+				return err
+			}
+			return k.Close(cpu, fs, fd)
+		}, nil
+	}
+	return nil, fmt.Errorf("willitscale: unknown benchmark %q", bench)
+}

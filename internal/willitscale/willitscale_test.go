@@ -1,0 +1,76 @@
+package willitscale
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/numa"
+	"repro/internal/qspin"
+)
+
+func TestAllBenchesBothPolicies(t *testing.T) {
+	for _, bench := range All() {
+		for _, policy := range []qspin.Policy{qspin.PolicyStock, qspin.PolicyCNA} {
+			bench, policy := bench, policy
+			t.Run(string(bench)+"/"+policy.String(), func(t *testing.T) {
+				d := qspin.NewDomain(numa.TwoSocketXeonE5(), policy)
+				res, err := Run(bench, d, 4, 30*time.Millisecond)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.TotalOps == 0 {
+					t.Fatal("no operations completed")
+				}
+				if res.Fairness < 0.5 || res.Fairness > 1 {
+					t.Fatalf("fairness %v out of range", res.Fairness)
+				}
+			})
+		}
+	}
+}
+
+func TestRunNormalisesArgs(t *testing.T) {
+	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyStock)
+	res, err := Run(Open2, d, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 1 || res.TotalOps == 0 {
+		t.Fatalf("normalised run: %+v", res)
+	}
+}
+
+func TestUnknownBench(t *testing.T) {
+	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyStock)
+	if _, err := Run(Bench("bogus"), d, 1, time.Millisecond); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestPerThreadOpsSum(t *testing.T) {
+	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyCNA)
+	res, err := Run(Lock1, d, 3, 25*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, o := range res.OpsPerThread {
+		sum += o
+	}
+	if sum != res.TotalOps {
+		t.Fatalf("per-thread sum %d != total %d", sum, res.TotalOps)
+	}
+}
+
+func TestLock2SharedFileContention(t *testing.T) {
+	// lock2 must drive acquisitions of the shared flc lock: with several
+	// threads the domain's slow or pending paths should fire.
+	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyCNA)
+	if _, err := Run(Lock2, d, 6, 40*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.PendingPath.Load()+st.SlowPath.Load() == 0 {
+		t.Error("no contention observed on the shared file's flc lock")
+	}
+}

@@ -1,0 +1,95 @@
+// Package repro is a Go reproduction of "Compact NUMA-Aware Locks"
+// (Dave Dice and Alex Kogan, EuroSys 2019): the CNA lock itself, the
+// Linux-kernel qspinlock it was designed to slot into, the baseline and
+// competitor locks the paper evaluates against, and the simulated
+// multi-socket machine on which every figure of the paper's evaluation
+// is regenerated.
+//
+// This file is the public facade: the types most users need, re-exported
+// from the internal packages that implement them.
+//
+//	arena := repro.NewArena(maxThreads)          // shared queue nodes
+//	lock  := repro.NewCNA(arena)                 // one word of shared state
+//	th    := repro.NewThread(id, socket)         // per-worker identity
+//	lock.Lock(th); ...critical section...; lock.Unlock(th)
+//
+// See examples/ for runnable programs and cmd/reproduce for the paper's
+// evaluation.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/numa"
+	"repro/internal/qspin"
+)
+
+// Mutex is the uniform lock interface implemented by every user-space
+// lock in this repository.
+type Mutex = locks.Mutex
+
+// Thread is a worker's identity (dense id, NUMA socket, private PRNG),
+// passed to every Lock/Unlock call.
+type Thread = locks.Thread
+
+// NewThread returns a Thread with the given id and socket.
+func NewThread(id, socket int) *Thread { return locks.NewThread(id, socket) }
+
+// CNA is the paper's compact NUMA-aware lock.
+type CNA = core.Lock
+
+// CNAOptions are the CNA policy knobs (fairness threshold, shuffle
+// reduction).
+type CNAOptions = core.Options
+
+// Arena is shared queue-node storage: one arena serves any number of CNA
+// locks, like the kernel's per-CPU qspinlock nodes.
+type Arena = core.Arena
+
+// NewArena allocates node storage for threads with IDs below maxThreads.
+func NewArena(maxThreads int) *Arena { return core.NewArena(maxThreads) }
+
+// NewCNA returns a CNA lock with the paper's default options, drawing
+// nodes from arena.
+func NewCNA(arena *Arena) *CNA { return core.NewWithArena(arena, core.DefaultOptions()) }
+
+// NewCNAWithOptions returns a CNA lock with explicit options.
+func NewCNAWithOptions(arena *Arena, opts CNAOptions) *CNA {
+	return core.NewWithArena(arena, opts)
+}
+
+// DefaultCNAOptions is the paper's configuration (THRESHOLD = 0xffff).
+func DefaultCNAOptions() CNAOptions { return core.DefaultOptions() }
+
+// OptimizedCNAOptions enables the Section 6 shuffle-reduction
+// optimisation ("CNA (opt)").
+func OptimizedCNAOptions() CNAOptions { return core.OptimizedOptions() }
+
+// NewMCS returns the MCS baseline lock.
+func NewMCS(maxThreads int) Mutex { return locks.NewMCS(maxThreads) }
+
+// Topology describes a NUMA machine (sockets × cores × threads).
+type Topology = numa.Topology
+
+// TwoSocketXeonE5 is the paper's primary machine shape (72 CPUs).
+func TwoSocketXeonE5() Topology { return numa.TwoSocketXeonE5() }
+
+// FourSocketXeonE7 is the paper's 4-socket machine shape (144 CPUs).
+func FourSocketXeonE7() Topology { return numa.FourSocketXeonE7() }
+
+// SpinLock is the 4-byte Linux-kernel-style qspinlock.
+type SpinLock = qspin.SpinLock
+
+// SpinDomain holds per-CPU queue nodes and the slow-path policy shared
+// by every SpinLock used with it.
+type SpinDomain = qspin.Domain
+
+// NewSpinDomain builds a qspinlock domain; cna selects the paper's CNA
+// slow path in place of the stock MCS one.
+func NewSpinDomain(topo Topology, cna bool) *SpinDomain {
+	p := qspin.PolicyStock
+	if cna {
+		p = qspin.PolicyCNA
+	}
+	return qspin.NewDomain(topo, p)
+}
