@@ -13,7 +13,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/lockreg"
 	"repro/internal/locks"
 	"repro/internal/memsim"
 	"repro/internal/numa"
@@ -112,7 +112,7 @@ func BenchmarkFig09ExternalWork(b *testing.B) {
 		fig := simbench.Fig09(sc)
 		if i == b.N-1 {
 			reportGap(b, &fig, "CNA", "MCS", 36)
-			reportGap(b, &fig, "CNA (opt)", "CNA", 2)
+			reportGap(b, &fig, "CNA-opt", "CNA", 2)
 		}
 	}
 }
@@ -191,23 +191,22 @@ func BenchmarkTable1Contention(b *testing.B) {
 
 // ---- Real-lock wall-clock latency (single-thread row of Figure 6) ----
 
-func BenchmarkUncontendedMCS(b *testing.B) {
-	l := locks.NewMCS(1)
-	th := locks.NewThread(0, 0)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		l.Lock(th)
-		l.Unlock(th)
-	}
-}
-
-func BenchmarkUncontendedCNA(b *testing.B) {
-	l := core.New(1)
-	th := locks.NewThread(0, 0)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		l.Lock(th)
-		l.Unlock(th)
+// BenchmarkUncontended sweeps every registered lock algorithm through an
+// uncontended acquire/release pair — the one real-lock latency that is
+// meaningful on any host, and a coverage check that each registry entry
+// is benchmarkable by name.
+func BenchmarkUncontended(b *testing.B) {
+	env := lockreg.Env{MaxThreads: 1, Topology: numa.TwoSocketXeonE5()}
+	for _, spec := range lockreg.All() {
+		b.Run(spec.Name, func(b *testing.B) {
+			l := spec.Build(env)
+			th := locks.NewThread(0, 0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.Lock(th)
+				l.Unlock(th)
+			}
+		})
 	}
 }
 

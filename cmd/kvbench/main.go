@@ -3,6 +3,10 @@
 // under a single lock, a configurable op mix, fixed-duration runs with
 // per-thread op counts, throughput and the fairness factor.
 //
+// Locks are constructed through the internal/lockreg registry, so every
+// registered algorithm is available by name: -locks all sweeps the full
+// set, -list prints it.
+//
 // On a multi-core host these numbers compare the real locks end to end;
 // the paper-shaped NUMA curves come from cmd/reproduce (virtual time).
 package main
@@ -14,45 +18,17 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/kvmap"
+	"repro/internal/lockreg"
 	"repro/internal/locks"
-	"repro/internal/locks/cohort"
-	"repro/internal/locks/hmcs"
 	"repro/internal/numa"
 )
 
-func lockFactory(name string, topo numa.Topology) (func(threads int) locks.Mutex, error) {
-	switch strings.ToLower(name) {
-	case "mcs":
-		return func(n int) locks.Mutex { return locks.NewMCS(n) }, nil
-	case "cna":
-		return func(n int) locks.Mutex { return core.New(n) }, nil
-	case "cna-opt":
-		return func(n int) locks.Mutex { return core.NewWithOptions(n, core.OptimizedOptions()) }, nil
-	case "c-bo-mcs":
-		return func(n int) locks.Mutex { return cohort.NewCBOMCS(topo.Sockets, n, cohort.DefaultMaxLocalPasses) }, nil
-	case "c-tkt-tkt":
-		return func(n int) locks.Mutex { return cohort.NewCTKTTKT(topo.Sockets, cohort.DefaultMaxLocalPasses) }, nil
-	case "c-ptl-tkt":
-		return func(n int) locks.Mutex { return cohort.NewCPTLTKT(topo.Sockets, cohort.DefaultMaxLocalPasses) }, nil
-	case "hmcs":
-		return func(n int) locks.Mutex { return hmcs.New(topo.Sockets, n, hmcs.DefaultThreshold) }, nil
-	case "ticket":
-		return func(n int) locks.Mutex { return locks.NewTicket() }, nil
-	case "tas":
-		return func(n int) locks.Mutex { return locks.NewTAS() }, nil
-	case "hbo":
-		return func(n int) locks.Mutex { return locks.DefaultHBO() }, nil
-	case "clh":
-		return func(n int) locks.Mutex { return locks.NewCLH(n) }, nil
-	}
-	return nil, fmt.Errorf("unknown lock %q", name)
-}
-
 func main() {
-	lockNames := flag.String("locks", "mcs,cna,c-bo-mcs,hmcs", "comma-separated locks to run")
+	lockNames := flag.String("locks", "MCS,CNA,C-BO-MCS,HMCS",
+		"comma-separated locks to run, or \"all\" (see -list)")
+	list := flag.Bool("list", false, "list the registered locks and exit")
 	threadsList := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 	dur := flag.Duration("duration", 200*time.Millisecond, "measured interval per run")
 	repeats := flag.Int("repeats", 3, "runs to average (the paper uses 5)")
@@ -61,6 +37,13 @@ func main() {
 	external := flag.Int("external", 0, "external-work loop iterations between ops")
 	fourSocket := flag.Bool("4s", false, "use the 4-socket topology")
 	flag.Parse()
+
+	if *list {
+		for _, spec := range lockreg.All() {
+			fmt.Printf("%-10s %s\n", spec.Name, spec.Description)
+		}
+		return
+	}
 
 	topo := numa.TwoSocketXeonE5()
 	if *fourSocket {
@@ -77,23 +60,24 @@ func main() {
 		counts = append(counts, n)
 	}
 
+	specs, err := lockreg.Resolve(*lockNames)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
+		os.Exit(2)
+	}
+
 	var results []harness.Result
-	for _, name := range strings.Split(*lockNames, ",") {
-		name = strings.TrimSpace(name)
-		mk, err := lockFactory(name, topo)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
-			os.Exit(2)
-		}
+	for _, spec := range specs {
 		workload := func(threads int) func(*locks.Thread, int) {
-			m := kvmap.NewMap(mk(threads))
+			env := lockreg.Env{MaxThreads: threads, Topology: topo}
+			m := kvmap.NewMap(spec.Build(env))
 			setup := locks.NewThread(0, 0)
 			m.Prefill(setup, *keyRange, 1)
 			w := kvmap.Workload{KeyRange: *keyRange, UpdatePermille: *updates, ExternalWork: *external}
 			return func(t *locks.Thread, op int) { w.Op(m, t) }
 		}
 		rs := harness.Sweep(harness.Config{
-			Name:     "kv/" + name,
+			Name:     "kv/" + spec.Name,
 			Topo:     topo,
 			Duration: *dur,
 			Repeats:  *repeats,

@@ -27,11 +27,14 @@ type table struct {
 	buckets []bucket
 }
 
-func newTable(buckets int, arena *repro.Arena) *table {
+// newTable builds one CNA lock per bucket through the registry. The Env
+// carries the shared Arena, so every Build call draws queue nodes from
+// the same storage — a million buckets cost one word of lock state each.
+func newTable(buckets int, env repro.Env) *table {
 	t := &table{buckets: make([]bucket, buckets)}
 	for i := range t.buckets {
 		t.buckets[i] = bucket{
-			lock:  repro.NewCNAWithOptions(arena, repro.DefaultCNAOptions()),
+			lock:  repro.MustBuild("CNA", env).(*repro.CNA),
 			items: make(map[uint64]uint64),
 		}
 	}
@@ -57,8 +60,12 @@ func main() {
 	const workers = 8
 	const buckets = 1 << 16
 	topo := repro.TwoSocketXeonE5()
-	arena := repro.NewArena(workers)
-	tbl := newTable(buckets, arena)
+	env := repro.Env{
+		MaxThreads: workers,
+		Topology:   topo,
+		Arena:      repro.NewArena(workers),
+	}
+	tbl := newTable(buckets, env)
 
 	// A skewed workload: most traffic hits a handful of hot buckets,
 	// which is when per-node locks contend (the paper cites Bronson et

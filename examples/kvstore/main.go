@@ -21,9 +21,10 @@ func main() {
 	topo := numa.TwoSocketXeonE5()
 	counts := []int{1, 2, 4, 8}
 
-	mkWorkload := func(mk func(threads int) repro.Mutex) harness.Workload {
+	mkWorkload := func(lockName string) harness.Workload {
 		return func(threads int) func(*locks.Thread, int) {
-			m := kvmap.NewMap(mk(threads))
+			env := repro.Env{MaxThreads: threads, Topology: topo}
+			m := kvmap.NewMap(repro.MustBuild(lockName, env))
 			setup := repro.NewThread(0, 0)
 			m.Prefill(setup, 1024, 1)
 			w := kvmap.DefaultWorkload() // 80% lookups / 20% updates
@@ -31,17 +32,16 @@ func main() {
 		}
 	}
 
+	// Any name from repro.LockNames() works here — the registry makes
+	// adding a third algorithm to this comparison a one-word change.
 	var results []harness.Result
-	for name, mk := range map[string]func(int) repro.Mutex{
-		"kv/MCS": func(n int) repro.Mutex { return repro.NewMCS(n) },
-		"kv/CNA": func(n int) repro.Mutex { return repro.NewCNA(repro.NewArena(n)) },
-	} {
+	for _, name := range []string{"MCS", "CNA"} {
 		results = append(results, harness.Sweep(harness.Config{
-			Name:     name,
+			Name:     "kv/" + name,
 			Topo:     topo,
 			Duration: 100 * time.Millisecond,
 			Repeats:  2,
-		}, counts, mkWorkload(mk))...)
+		}, counts, mkWorkload(name))...)
 	}
 	fmt.Print(harness.FormatResults(results))
 	fmt.Println("\n(real-concurrency run on this host; paper-shaped NUMA curves: cmd/reproduce)")

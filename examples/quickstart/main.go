@@ -19,9 +19,10 @@ func main() {
 	// sockets, like unpinned threads on a 2-socket box.
 	topo := repro.TwoSocketXeonE5()
 
-	// One arena of queue nodes serves any number of CNA locks.
-	arena := repro.NewArena(workers)
-	lock := repro.NewCNA(arena)
+	// Build the lock by name through the registry — any algorithm from
+	// repro.LockNames() slots in here; names are case-insensitive.
+	env := repro.Env{MaxThreads: workers, Topology: topo}
+	lock := repro.MustBuild("cna", env).(*repro.CNA)
 
 	counter := 0
 	var wg sync.WaitGroup

@@ -192,10 +192,12 @@ func NewWithArena(arena *Arena, opts Options) *Lock {
 	return l
 }
 
-// Name implements locks.Mutex.
+// Name implements locks.Mutex. "CNA-opt" is the canonical spelling of
+// the paper's "CNA (opt)" variant (registry names, CLI flags and Name()
+// must agree; see internal/lockreg).
 func (l *Lock) Name() string {
 	if l.opts.ShuffleReduction {
-		return "CNA (opt)"
+		return "CNA-opt"
 	}
 	return "CNA"
 }

@@ -441,7 +441,7 @@ func TestOptionsConstructors(t *testing.T) {
 	if New(2).Name() != "CNA" {
 		t.Error("default lock name")
 	}
-	if NewWithOptions(2, o).Name() != "CNA (opt)" {
+	if NewWithOptions(2, o).Name() != "CNA-opt" {
 		t.Error("optimized lock name")
 	}
 }

@@ -1,0 +1,27 @@
+// Package locknames holds the canonical lock-algorithm names shared by
+// the real-lock registry (internal/lockreg) and the virtual-time
+// simulator (internal/simbench), so figure labels, CLI spellings and
+// Mutex.Name() strings can never drift apart. It is a leaf package on
+// purpose: the simulator reads these strings without linking the real
+// lock implementations.
+package locknames
+
+// Canonical algorithm names. Each equals the Name() string of the real
+// lock it denotes (enforced by the lockreg conformance suite).
+const (
+	TAS     = "TAS"
+	TTAS    = "TTAS"
+	BOTAS   = "BO-TAS"
+	Ticket  = "TKT"
+	PTL     = "PTL"
+	MCS     = "MCS"
+	CLH     = "CLH"
+	HBO     = "HBO"
+	MCSCR   = "MCSCR"
+	CBOMCS  = "C-BO-MCS"
+	CTKTTKT = "C-TKT-TKT"
+	CPTLTKT = "C-PTL-TKT"
+	HMCS    = "HMCS"
+	CNA     = "CNA"
+	CNAOpt  = "CNA-opt"
+)

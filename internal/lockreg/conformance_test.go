@@ -1,0 +1,192 @@
+package lockreg
+
+// The conformance suite: every registered lock is run through the same
+// contract checks, so an algorithm added to the registry without
+// honouring the Mutex contract fails CI rather than corrupting a
+// benchmark. The contract is:
+//
+//  1. mutual exclusion — at most one thread inside the critical section;
+//  2. LIFO nesting — a thread may hold up to locks.MaxNesting distinct
+//     locks at once, releasing in reverse acquisition order;
+//  3. handover bookkeeping — locks that expose a HandoverCounter must
+//     classify a same-socket handover as local and a cross-socket one as
+//     remote (the statistic the paper's locality arguments rest on).
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+// testEnv is the environment conformance locks are built in: the paper's
+// 2-socket machine shape with a fixed thread bound.
+func testEnv(maxThreads int) Env {
+	return Env{MaxThreads: maxThreads, Topology: numa.TwoSocketXeonE5()}
+}
+
+// confThreads builds worker identities spread across the two sockets the
+// way the harness places unpinned threads.
+func confThreads(n int) []*locks.Thread {
+	ths := make([]*locks.Thread, n)
+	for i := range ths {
+		ths[i] = locks.NewThread(i, i%2)
+	}
+	return ths
+}
+
+func confIters(t *testing.T) int {
+	if testing.Short() {
+		return 400
+	}
+	return 4000
+}
+
+// TestConformanceMutualExclusion hammers each lock with racing
+// goroutines incrementing an unprotected counter; a lost update or a
+// second thread observed inside the critical section fails the lock.
+func TestConformanceMutualExclusion(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 4
+			iters := confIters(t)
+			m := spec.Build(testEnv(workers))
+			ths := confThreads(workers)
+
+			var counter int
+			var inside atomic.Int32
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := ths[w]
+					for i := 0; i < iters; i++ {
+						m.Lock(th)
+						if inside.Add(1) != 1 {
+							t.Errorf("%s: two threads inside the critical section", spec.Name)
+						}
+						counter++
+						inside.Add(-1)
+						m.Unlock(th)
+					}
+				}(w)
+			}
+			wg.Wait()
+			if counter != workers*iters {
+				t.Fatalf("%s: counter = %d, want %d (mutual exclusion violated)",
+					spec.Name, counter, workers*iters)
+			}
+		})
+	}
+}
+
+// TestConformanceLIFONesting acquires locks.MaxNesting independent
+// instances of each algorithm in order and releases them in reverse —
+// the nesting discipline every workload in this repo (and the kernel's
+// qspinlock node preallocation) relies on. A concurrent phase then nests
+// two instances under contention.
+func TestConformanceLIFONesting(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 4
+			env := testEnv(workers)
+
+			// Single-threaded full-depth nesting.
+			depth := locks.MaxNesting
+			chain := make([]locks.Mutex, depth)
+			for i := range chain {
+				chain[i] = spec.Build(env)
+			}
+			th := locks.NewThread(0, 0)
+			for _, m := range chain {
+				m.Lock(th)
+			}
+			if got := th.Depth(); got > depth {
+				t.Fatalf("%s: nesting depth %d exceeds MaxNesting %d", spec.Name, got, depth)
+			}
+			for i := depth - 1; i >= 0; i-- {
+				chain[i].Unlock(th)
+			}
+			if th.Depth() != 0 {
+				t.Fatalf("%s: depth %d after releasing every lock", spec.Name, th.Depth())
+			}
+
+			// Contended two-deep nesting: outer protects c1, inner c2.
+			outer, inner := spec.Build(env), spec.Build(env)
+			iters := confIters(t) / 2
+			var c1, c2 int
+			ths := confThreads(workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := ths[w]
+					for i := 0; i < iters; i++ {
+						outer.Lock(th)
+						c1++
+						inner.Lock(th)
+						c2++
+						inner.Unlock(th)
+						outer.Unlock(th)
+					}
+				}(w)
+			}
+			wg.Wait()
+			if want := workers * iters; c1 != want || c2 != want {
+				t.Fatalf("%s: nested counters = %d/%d, want %d", spec.Name, c1, c2, want)
+			}
+		})
+	}
+}
+
+// handovers returns the lock's handover counter when the algorithm
+// maintains one (MCS, the cohort locks, HMCS and CNA do; the simple spin
+// locks have no notion of a handover).
+func handovers(m locks.Mutex) (*locks.HandoverCounter, bool) {
+	switch l := m.(type) {
+	case interface{ Handovers() *locks.HandoverCounter }:
+		return l.Handovers(), true
+	case *core.Lock:
+		return &l.Stats().Handover, true
+	}
+	return nil, false
+}
+
+// TestConformanceHandoverLocality drives a deterministic uncontended
+// handover sequence — socket 0, socket 0 again, then socket 1 — and
+// checks that instrumented locks classify it as exactly one local and
+// one remote handover.
+func TestConformanceHandoverLocality(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m := spec.Build(testEnv(3))
+			h, ok := handovers(m)
+			if !ok {
+				t.Skipf("%s keeps no handover statistics", spec.Name)
+			}
+			seq := []*locks.Thread{
+				locks.NewThread(0, 0),
+				locks.NewThread(1, 0),
+				locks.NewThread(2, 1),
+			}
+			for _, th := range seq {
+				m.Lock(th)
+				m.Unlock(th)
+			}
+			local, remote := h.Counts()
+			if local != 1 || remote != 1 {
+				t.Fatalf("%s: handovers = %d local / %d remote, want 1/1", spec.Name, local, remote)
+			}
+		})
+	}
+}

@@ -1,0 +1,371 @@
+// Package lockreg is the single source of truth for lock construction.
+//
+// The paper's evaluation is a matrix of lock algorithm × workload, and
+// every benchmark, example and test in this repository used to build its
+// corner of that matrix by hand, each with its own lock-by-name switch,
+// knob spellings and coverage. lockreg replaces those switches with one
+// registry: every algorithm in the tree registers a Spec here, and every
+// consumer constructs locks through Build (or the repro facade), so a new
+// algorithm or a new workload becomes a one-liner instead of an edit to
+// each binary.
+//
+// # Names
+//
+// Spec.Name is canonical and always equals the string the built lock's
+// Name() method reports (the conformance suite enforces this). Lookup is
+// case-insensitive and also accepts each Spec's Aliases, so CLI flags may
+// spell "cna-opt", "CNA-OPT" or "cna (opt)" and reach the same algorithm.
+//
+// # Environments and options
+//
+// An Env carries the machine-shaped inputs every constructor may need:
+// the thread-ID bound, the NUMA topology (socket count) and an optional
+// shared CNA node Arena. Functional options (WithThreshold, WithBackoff,
+// WithMaxLocalPasses, ...) tune the per-algorithm policy knobs; options
+// an algorithm does not understand are ignored, so one option list can
+// configure a whole sweep. Defaults are the paper's settings.
+package lockreg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/locknames"
+	"repro/internal/locks"
+	"repro/internal/locks/cohort"
+	"repro/internal/locks/hmcs"
+	"repro/internal/numa"
+)
+
+// Canonical algorithm names, one per registered Spec. Each equals the
+// Name() string of the lock the Spec builds. The strings live in the
+// leaf package internal/locknames so the simulator can share them
+// without linking the real lock implementations.
+const (
+	NameTAS     = locknames.TAS
+	NameTTAS    = locknames.TTAS
+	NameBOTAS   = locknames.BOTAS
+	NameTicket  = locknames.Ticket
+	NamePTL     = locknames.PTL
+	NameMCS     = locknames.MCS
+	NameCLH     = locknames.CLH
+	NameHBO     = locknames.HBO
+	NameMCSCR   = locknames.MCSCR
+	NameCBOMCS  = locknames.CBOMCS
+	NameCTKTTKT = locknames.CTKTTKT
+	NameCPTLTKT = locknames.CPTLTKT
+	NameHMCS    = locknames.HMCS
+	NameCNA     = locknames.CNA
+	NameCNAOpt  = locknames.CNAOpt
+)
+
+// Env carries the construction-time environment shared by all lock
+// algorithms: how many threads will use the lock, what machine they run
+// on, and (for CNA) where queue nodes live.
+type Env struct {
+	// MaxThreads bounds the thread IDs that will use the lock; values
+	// below 1 are treated as 1.
+	MaxThreads int
+	// Topology is the (virtual) NUMA machine; its socket count sizes the
+	// hierarchical locks. A zero Topology means the paper's primary
+	// 2-socket machine.
+	Topology numa.Topology
+	// Arena, when non-nil, is the shared CNA queue-node storage every CNA
+	// lock built from this Env draws from — the paper's "million locks,
+	// one arena" deployment. When nil, each CNA lock gets a private arena.
+	Arena *core.Arena
+}
+
+// Sockets returns the topology's socket count (at least 1).
+func (e Env) Sockets() int {
+	if e.Topology.Sockets < 1 {
+		return numa.TwoSocketXeonE5().Sockets
+	}
+	return e.Topology.Sockets
+}
+
+// Threads returns the thread-ID bound (at least 1).
+func (e Env) Threads() int {
+	if e.MaxThreads < 1 {
+		return 1
+	}
+	return e.MaxThreads
+}
+
+// arena returns the shared arena, or a private one sized for the Env.
+func (e Env) arena() *core.Arena {
+	if e.Arena != nil {
+		return e.Arena
+	}
+	return core.NewArena(e.Threads())
+}
+
+// Spec describes one registered lock algorithm.
+type Spec struct {
+	// Name is the canonical spelling, equal to the built lock's Name().
+	Name string
+	// Aliases are additional spellings Lookup accepts (case-insensitive,
+	// like Name itself).
+	Aliases []string
+	// Description is a one-line summary for CLI help text.
+	Description string
+	// NUMAAware reports whether the algorithm uses socket identity.
+	NUMAAware bool
+	// Build constructs a lock instance for the given environment.
+	Build func(Env, ...Option) locks.Mutex
+}
+
+// registry holds Specs in registration order (the order All and Names
+// report) plus a normalized-name index.
+var registry struct {
+	specs []Spec
+	index map[string]int
+}
+
+// normalize maps a user spelling to an index key: lower-cased, with
+// spaces, parentheses and underscores treated as interchangeable with
+// dashes ("CNA (opt)" == "cna-opt" == "cna_opt").
+func normalize(name string) string {
+	s := strings.ToLower(strings.TrimSpace(name))
+	s = strings.NewReplacer(" ", "-", "_", "-", "(", "", ")", "").Replace(s)
+	for strings.Contains(s, "--") {
+		s = strings.ReplaceAll(s, "--", "-")
+	}
+	return strings.Trim(s, "-")
+}
+
+// Register adds a Spec to the registry. It panics on duplicate or empty
+// names — registration happens at init time, so a clash is a programming
+// error, not a runtime condition.
+func Register(s Spec) {
+	if s.Name == "" || s.Build == nil {
+		panic("lockreg: Spec needs a Name and a Build func")
+	}
+	if registry.index == nil {
+		registry.index = make(map[string]int)
+	}
+	i := len(registry.specs)
+	for _, key := range append([]string{s.Name}, s.Aliases...) {
+		k := normalize(key)
+		if prev, dup := registry.index[k]; dup {
+			if prev == i {
+				continue // name and alias of the same spec normalize alike
+			}
+			panic(fmt.Sprintf("lockreg: name %q already registered by %q", key, registry.specs[prev].Name))
+		}
+		registry.index[k] = i
+	}
+	registry.specs = append(registry.specs, s)
+}
+
+// All returns every registered Spec in registration order (simple spin
+// locks, then queue locks, then NUMA-aware locks).
+func All() []Spec {
+	out := make([]Spec, len(registry.specs))
+	copy(out, registry.specs)
+	return out
+}
+
+// Names returns the canonical names in registration order — a stable
+// list for CLI help text and sweeps.
+func Names() []string {
+	out := make([]string, len(registry.specs))
+	for i, s := range registry.specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Lookup resolves a (case-insensitive) name or alias to its Spec.
+func Lookup(name string) (Spec, bool) {
+	i, ok := registry.index[normalize(name)]
+	if !ok {
+		return Spec{}, false
+	}
+	return registry.specs[i], true
+}
+
+// Build constructs the named lock in the given environment. The error of
+// an unknown name lists every registered spelling.
+func Build(name string, env Env, opts ...Option) (locks.Mutex, error) {
+	spec, ok := Lookup(name)
+	if !ok {
+		return nil, unknownNameError(name)
+	}
+	return spec.Build(env, opts...), nil
+}
+
+// unknownNameError lists every registered spelling alongside the
+// offending one.
+func unknownNameError(name string) error {
+	sorted := Names()
+	sort.Strings(sorted)
+	return fmt.Errorf("lockreg: unknown lock %q (known: %s)", name, strings.Join(sorted, ", "))
+}
+
+// Resolve turns a CLI-style comma-separated name list into Specs. The
+// literal "all" (or an empty string) selects every registered algorithm
+// in registration order; unknown names produce the same
+// known-spellings error as Build.
+func Resolve(list string) ([]Spec, error) {
+	if k := normalize(list); k == "" || k == "all" {
+		return All(), nil
+	}
+	var specs []Spec
+	for _, name := range strings.Split(list, ",") {
+		spec, ok := Lookup(name)
+		if !ok {
+			return nil, unknownNameError(name)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// MustBuild is Build for callers with static names (examples, tests).
+func MustBuild(name string, env Env, opts ...Option) locks.Mutex {
+	m, err := Build(name, env, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func init() {
+	Register(Spec{
+		Name:        NameTAS,
+		Aliases:     []string{"test-and-set"},
+		Description: "test-and-set spin lock: one word, global spinning, no fairness",
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			return locks.NewTAS()
+		},
+	})
+	Register(Spec{
+		Name:        NameTTAS,
+		Aliases:     []string{"test-and-test-and-set"},
+		Description: "test-and-test-and-set: reads before the atomic swap to cut coherence traffic",
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			return locks.NewTTAS()
+		},
+	})
+	Register(Spec{
+		Name:        NameBOTAS,
+		Aliases:     []string{"backoff", "backoff-tas"},
+		Description: "test-and-set with capped exponential backoff (the BO of C-BO-MCS)",
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			c := apply(opts)
+			min, max := c.backoff(locks.DefaultBackoffMin, locks.DefaultBackoffMax)
+			return locks.NewBackoffTAS(min, max)
+		},
+	})
+	Register(Spec{
+		Name:        NameTicket,
+		Aliases:     []string{"ticket"},
+		Description: "FIFO ticket lock: strictly fair, one word, global spinning",
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			return locks.NewTicket()
+		},
+	})
+	Register(Spec{
+		Name:        NamePTL,
+		Aliases:     []string{"partitioned-ticket"},
+		Description: "partitioned ticket lock: grants striped across per-socket slots",
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			c := apply(opts)
+			return locks.NewPartitionedTicket(c.slotsOr(env.Sockets()))
+		},
+	})
+	Register(Spec{
+		Name:        NameMCS,
+		Description: "Mellor-Crummey/Scott queue lock: local spinning, the paper's baseline",
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			return locks.NewMCS(env.Threads())
+		},
+	})
+	Register(Spec{
+		Name:        NameCLH,
+		Description: "Craig/Landin/Hagersten queue lock: spins on the predecessor's node",
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			return locks.NewCLH(env.Threads())
+		},
+	})
+	Register(Spec{
+		Name:        NameHBO,
+		Aliases:     []string{"hierarchical-backoff"},
+		Description: "hierarchical backoff lock: one word, remote waiters back off longer",
+		NUMAAware:   true,
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			c := apply(opts)
+			if c.hboSet {
+				return locks.NewHBO(c.hboLocalMin, c.hboLocalMax, c.hboRemoteMin, c.hboRemoteMax)
+			}
+			return locks.DefaultHBO()
+		},
+	})
+	Register(Spec{
+		Name:        NameMCSCR,
+		Aliases:     []string{"malthusian"},
+		Description: "Malthusian MCS: culls excess waiters to a passive list (Dice 2017)",
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			c := apply(opts)
+			return locks.NewMalthusian(env.Threads(),
+				c.minActiveOr(locks.DefaultMalthusianMinActive),
+				c.thresholdOr(locks.DefaultMalthusianReviveMask))
+		},
+	})
+	Register(Spec{
+		Name:        NameCBOMCS,
+		Description: "cohort lock: backoff-TAS global, MCS locals (best cohort variant)",
+		NUMAAware:   true,
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			c := apply(opts)
+			return cohort.NewCBOMCS(env.Sockets(), env.Threads(), c.maxLocalPassesOr(cohort.DefaultMaxLocalPasses))
+		},
+	})
+	Register(Spec{
+		Name:        NameCTKTTKT,
+		Description: "cohort lock: ticket global, ticket locals",
+		NUMAAware:   true,
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			c := apply(opts)
+			return cohort.NewCTKTTKT(env.Sockets(), c.maxLocalPassesOr(cohort.DefaultMaxLocalPasses))
+		},
+	})
+	Register(Spec{
+		Name:        NameCPTLTKT,
+		Description: "cohort lock: partitioned-ticket global, ticket locals",
+		NUMAAware:   true,
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			c := apply(opts)
+			return cohort.NewCPTLTKT(env.Sockets(), c.maxLocalPassesOr(cohort.DefaultMaxLocalPasses))
+		},
+	})
+	Register(Spec{
+		Name:        NameHMCS,
+		Description: "hierarchical MCS: per-socket queues plus a root queue (Chabbi 2015)",
+		NUMAAware:   true,
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			c := apply(opts)
+			return hmcs.New(env.Sockets(), env.Threads(), uint64(c.maxLocalPassesOr(int(hmcs.DefaultThreshold))))
+		},
+	})
+	Register(Spec{
+		Name:        NameCNA,
+		Description: "compact NUMA-aware lock: one word of state (the paper's contribution)",
+		NUMAAware:   true,
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			return core.NewWithArena(env.arena(), cnaOptions(core.DefaultOptions(), opts))
+		},
+	})
+	Register(Spec{
+		Name:        NameCNAOpt,
+		Aliases:     []string{"cna (opt)", "cnaopt"},
+		Description: "CNA with the Section 6 shuffle-reduction optimisation",
+		NUMAAware:   true,
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			return core.NewWithArena(env.arena(), cnaOptions(core.OptimizedOptions(), opts))
+		},
+	})
+}

@@ -1,0 +1,137 @@
+package lockreg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+// wantNames is the full algorithm set the registry must cover, in
+// registration order.
+var wantNames = []string{
+	NameTAS, NameTTAS, NameBOTAS, NameTicket, NamePTL,
+	NameMCS, NameCLH, NameHBO, NameMCSCR,
+	NameCBOMCS, NameCTKTTKT, NameCPTLTKT, NameHMCS,
+	NameCNA, NameCNAOpt,
+}
+
+func TestNamesCoverEveryAlgorithm(t *testing.T) {
+	got := Names()
+	if len(got) != len(wantNames) {
+		t.Fatalf("Names() = %v (%d entries), want %d", got, len(got), len(wantNames))
+	}
+	for i, name := range wantNames {
+		if got[i] != name {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], name)
+		}
+	}
+	if len(All()) != len(wantNames) {
+		t.Fatalf("All() has %d specs, want %d", len(All()), len(wantNames))
+	}
+}
+
+// TestCanonicalNameMatchesMutexName is the anti-drift check: the
+// registry name, the CLI spelling and the string a built lock reports
+// via Name() are one and the same.
+func TestCanonicalNameMatchesMutexName(t *testing.T) {
+	env := Env{MaxThreads: 2, Topology: numa.TwoSocketXeonE5()}
+	for _, spec := range All() {
+		if got := spec.Build(env).Name(); got != spec.Name {
+			t.Errorf("spec %q builds a lock whose Name() is %q", spec.Name, got)
+		}
+	}
+}
+
+func TestLookupIsCaseInsensitiveAndAliased(t *testing.T) {
+	cases := map[string]string{
+		"mcs":          NameMCS,
+		"MCS":          NameMCS,
+		"cna":          NameCNA,
+		"CNA-OPT":      NameCNAOpt,
+		"cna-opt":      NameCNAOpt,
+		"CNA (opt)":    NameCNAOpt,
+		"cna_opt":      NameCNAOpt,
+		"cnaopt":       NameCNAOpt,
+		"ticket":       NameTicket,
+		"malthusian":   NameMCSCR,
+		"backoff":      NameBOTAS,
+		"c-bo-mcs":     NameCBOMCS,
+		"C-BO-MCS":     NameCBOMCS,
+		" hmcs ":       NameHMCS,
+		"test-and-set": NameTAS,
+	}
+	for in, want := range cases {
+		spec, ok := Lookup(in)
+		if !ok {
+			t.Errorf("Lookup(%q) failed, want %q", in, want)
+			continue
+		}
+		if spec.Name != want {
+			t.Errorf("Lookup(%q) = %q, want %q", in, spec.Name, want)
+		}
+	}
+	if _, ok := Lookup("no-such-lock"); ok {
+		t.Error("Lookup accepted an unknown name")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if specs, err := Resolve("all"); err != nil || len(specs) != len(wantNames) {
+		t.Fatalf("Resolve(all) = %d specs, err %v; want %d", len(specs), err, len(wantNames))
+	}
+	specs, err := Resolve(" mcs , CNA-OPT ")
+	if err != nil || len(specs) != 2 || specs[0].Name != NameMCS || specs[1].Name != NameCNAOpt {
+		t.Fatalf("Resolve(mcs,CNA-OPT) = %v, err %v", specs, err)
+	}
+	if _, err := Resolve("mcs,bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("Resolve with unknown name: err = %v", err)
+	}
+}
+
+func TestBuildUnknownNameListsKnownOnes(t *testing.T) {
+	_, err := Build("spanner", Env{MaxThreads: 1})
+	if err == nil {
+		t.Fatal("Build accepted an unknown lock name")
+	}
+	for _, name := range []string{NameMCS, NameCNA, NameHMCS} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention %q", err, name)
+		}
+	}
+}
+
+// TestOptionsReachTheAlgorithm spot-checks that functional options land
+// on the built lock: shuffle reduction flips the CNA variant (visible
+// through Name()), and unknown-to-the-algorithm options are ignored.
+func TestOptionsReachTheAlgorithm(t *testing.T) {
+	env := Env{MaxThreads: 2, Topology: numa.TwoSocketXeonE5()}
+	if got := MustBuild(NameCNA, env, WithShuffleReduction(true)).Name(); got != NameCNAOpt {
+		t.Errorf("CNA + WithShuffleReduction = %q, want %q", got, NameCNAOpt)
+	}
+	if got := MustBuild(NameCNAOpt, env, WithShuffleReduction(false)).Name(); got != NameCNA {
+		t.Errorf("CNA-opt + WithShuffleReduction(false) = %q, want %q", got, NameCNA)
+	}
+	// Options inapplicable to an algorithm are ignored, so one option
+	// list can configure a heterogeneous sweep.
+	if got := MustBuild(NameMCS, env, WithThreshold(0x3ff), WithBackoff(1, 8)).Name(); got != NameMCS {
+		t.Errorf("MCS with foreign options = %q", got)
+	}
+}
+
+// TestSharedArena exercises the Env-carried arena: two CNA locks drawing
+// nodes from one arena must still exclude correctly when used by the
+// same threads (the paper's fine-grained-locking deployment).
+func TestSharedArena(t *testing.T) {
+	arena := core.NewArena(2)
+	env := Env{MaxThreads: 2, Topology: numa.TwoSocketXeonE5(), Arena: arena}
+	a := MustBuild(NameCNA, env)
+	b := MustBuild(NameCNAOpt, env)
+	th := locks.NewThread(0, 0)
+	a.Lock(th)
+	b.Lock(th)
+	b.Unlock(th)
+	a.Unlock(th)
+}

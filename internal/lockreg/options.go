@@ -1,0 +1,149 @@
+package lockreg
+
+import "repro/internal/core"
+
+// config collects every knob any algorithm understands. Each field is
+// set-or-absent so Build funcs can fall back to the paper's defaults;
+// algorithms simply ignore knobs that do not apply to them.
+type config struct {
+	thresholdSet bool
+	threshold    uint64 // CNA KeepLocalMask / MCSCR revive mask
+
+	shuffleSet bool
+	shuffle    bool // CNA shuffle reduction on/off
+
+	countdownSet bool
+	countdown    bool // CNA fairness-countdown optimisation
+
+	backoffSet          bool
+	backoffMin, backMax uint // BO-TAS window
+	hboSet              bool
+	hboLocalMin         uint
+	hboLocalMax         uint
+	hboRemoteMin        uint
+	hboRemoteMax        uint
+	maxLocalPassesSet   bool
+	maxLocalPassesVal   int // cohort / HMCS local-handover budget
+	slotsSet, minActSet bool
+	slotsVal, minActVal int // PTL grant slots; MCSCR active floor
+}
+
+// Option tunes one policy knob; see the With* constructors.
+type Option func(*config)
+
+func apply(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithThreshold sets the long-term-fairness mask: CNA's THRESHOLD (the
+// KeepLocalMask drawn against on each handover; paper default 0xffff)
+// and MCSCR's revive mask.
+func WithThreshold(mask uint64) Option {
+	return func(c *config) { c.thresholdSet = true; c.threshold = mask }
+}
+
+// WithShuffleReduction toggles CNA's Section 6 shuffle-reduction
+// optimisation (on by default only for the CNA-opt spec).
+func WithShuffleReduction(on bool) Option {
+	return func(c *config) { c.shuffleSet = true; c.shuffle = on }
+}
+
+// WithFairnessCountdown toggles CNA's Section 6 countdown variant of
+// keep_lock_local (store the drawn number, decrement per handover).
+func WithFairnessCountdown(on bool) Option {
+	return func(c *config) { c.countdownSet = true; c.countdown = on }
+}
+
+// WithBackoff sets the BO-TAS backoff window in pause units.
+func WithBackoff(min, max uint) Option {
+	return func(c *config) { c.backoffSet = true; c.backoffMin, c.backMax = min, max }
+}
+
+// WithHBOBackoff sets HBO's two backoff windows: [localMin, localMax]
+// for same-socket waiters and [remoteMin, remoteMax] for remote ones.
+func WithHBOBackoff(localMin, localMax, remoteMin, remoteMax uint) Option {
+	return func(c *config) {
+		c.hboSet = true
+		c.hboLocalMin, c.hboLocalMax = localMin, localMax
+		c.hboRemoteMin, c.hboRemoteMax = remoteMin, remoteMax
+	}
+}
+
+// WithMaxLocalPasses bounds consecutive same-socket handovers for the
+// cohort locks and HMCS (the hierarchical locks' fairness knob; the
+// paper configures all NUMA-aware locks "with similar fairness
+// settings", default 64).
+func WithMaxLocalPasses(n int) Option {
+	return func(c *config) { c.maxLocalPassesSet = true; c.maxLocalPassesVal = n }
+}
+
+// WithSlots sets the number of PTL grant slots (default: one per
+// socket).
+func WithSlots(n int) Option {
+	return func(c *config) { c.slotsSet = true; c.slotsVal = n }
+}
+
+// WithMinActive sets MCSCR's floor on actively circulating threads.
+func WithMinActive(n int) Option {
+	return func(c *config) { c.minActSet = true; c.minActVal = n }
+}
+
+func (c config) thresholdOr(def uint64) uint64 {
+	if c.thresholdSet {
+		return c.threshold
+	}
+	return def
+}
+
+func (c config) backoff(defMin, defMax uint) (uint, uint) {
+	if c.backoffSet {
+		return c.backoffMin, c.backMax
+	}
+	return defMin, defMax
+}
+
+func (c config) maxLocalPassesOr(def int) int {
+	if c.maxLocalPassesSet {
+		// Clamp like the cohort constructors do; without this a negative
+		// value would wrap to a huge uint64 on the HMCS path (unbounded
+		// local passing, i.e. remote-socket starvation).
+		if c.maxLocalPassesVal < 1 {
+			return 1
+		}
+		return c.maxLocalPassesVal
+	}
+	return def
+}
+
+func (c config) slotsOr(def int) int {
+	if c.slotsSet {
+		return c.slotsVal
+	}
+	return def
+}
+
+func (c config) minActiveOr(def int) int {
+	if c.minActSet {
+		return c.minActVal
+	}
+	return def
+}
+
+// cnaOptions overlays the set knobs onto a CNA base configuration.
+func cnaOptions(base core.Options, opts []Option) core.Options {
+	c := apply(opts)
+	if c.thresholdSet {
+		base.KeepLocalMask = c.threshold
+	}
+	if c.shuffleSet {
+		base.ShuffleReduction = c.shuffle
+	}
+	if c.countdownSet {
+		base.FairnessCountdown = c.countdown
+	}
+	return base
+}

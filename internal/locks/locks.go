@@ -3,6 +3,14 @@
 // locks (MCS, CLH, ticket) and NUMA-aware locks (HBO here; Lock Cohorting
 // and HMCS in subpackages; CNA itself in internal/core).
 //
+// Construction is registry-first: every algorithm here registers a Spec
+// with internal/lockreg, which is the single source of truth for lock
+// names, aliases and policy knobs. Benchmarks, examples and tests build
+// locks via lockreg.Build (or the repro facade's Build) rather than
+// calling the New* constructors below directly; each Name() string is
+// the canonical registry name, and the lockreg conformance suite runs
+// every registered algorithm through the contract documented on Mutex.
+//
 // # Threads
 //
 // Every algorithm is driven through a per-worker *Thread, which carries

@@ -54,9 +54,18 @@ func NewMalthusian(maxThreads, minActive int, reviveMask uint64) *Malthusian {
 	}
 }
 
+// DefaultMalthusianMinActive and DefaultMalthusianReviveMask are the
+// default policy knobs: keep at least 2 threads circulating, revive a
+// passive waiter with probability 1/65536 per handover (the fairness
+// scale the other locks use).
+const (
+	DefaultMalthusianMinActive         = 2
+	DefaultMalthusianReviveMask uint64 = 0xffff
+)
+
 // DefaultMalthusian matches the fairness scale used by the other locks.
 func DefaultMalthusian(maxThreads int) *Malthusian {
-	return NewMalthusian(maxThreads, 2, 0xffff)
+	return NewMalthusian(maxThreads, DefaultMalthusianMinActive, DefaultMalthusianReviveMask)
 }
 
 // Lock is plain MCS acquisition; culling happens on the unlock side.

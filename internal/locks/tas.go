@@ -76,9 +76,16 @@ func NewBackoffTAS(min, max uint) *BackoffTAS {
 	return &BackoffTAS{min: min, max: max}
 }
 
+// DefaultBackoffMin and DefaultBackoffMax are the backoff window used
+// throughout the benchmarks (and by the lock registry's defaults).
+const (
+	DefaultBackoffMin uint = 4
+	DefaultBackoffMax uint = 1024
+)
+
 // DefaultBackoffTAS returns a BackoffTAS with the window used throughout
 // the benchmarks.
-func DefaultBackoffTAS() *BackoffTAS { return NewBackoffTAS(4, 1024) }
+func DefaultBackoffTAS() *BackoffTAS { return NewBackoffTAS(DefaultBackoffMin, DefaultBackoffMax) }
 
 // Lock acquires the lock.
 func (l *BackoffTAS) Lock(t *Thread) {

@@ -157,9 +157,9 @@ func TestFig9Shape(t *testing.T) {
 	}
 	// CNA (opt) >= CNA at the light-contention point (the paper's 4-8
 	// thread dip), within noise.
-	if at(t, &fig, "CNA (opt)", 4) < 0.95*at(t, &fig, "CNA", 4) {
+	if at(t, &fig, "CNA-opt", 4) < 0.95*at(t, &fig, "CNA", 4) {
 		t.Errorf("shuffle reduction hurt light contention: opt=%.2f plain=%.2f",
-			at(t, &fig, "CNA (opt)", 4), at(t, &fig, "CNA", 4))
+			at(t, &fig, "CNA-opt", 4), at(t, &fig, "CNA", 4))
 	}
 }
 
@@ -307,7 +307,7 @@ func TestFigureRendering(t *testing.T) {
 	sc := Scale{HorizonNs: 300_000, Counts2S: []int{1, 2}, Counts4S: []int{1, 2}}
 	fig := Fig09(sc)
 	tbl := fig.Table()
-	if !strings.Contains(tbl, "fig09") || !strings.Contains(tbl, "CNA (opt)") {
+	if !strings.Contains(tbl, "fig09") || !strings.Contains(tbl, "CNA-opt") {
 		t.Errorf("table rendering broken:\n%s", tbl)
 	}
 	csv := fig.CSV()

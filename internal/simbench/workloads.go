@@ -1,6 +1,7 @@
 package simbench
 
 import (
+	"repro/internal/locknames"
 	"repro/internal/memsim"
 	"repro/internal/simlocks"
 )
@@ -17,19 +18,21 @@ const (
 	LockHMCS
 )
 
-// String returns the paper's label for the lock.
+// String returns the lock's canonical name. Labels are shared with the
+// real-lock registry (via internal/locknames) so figure series and CLI
+// spellings never drift.
 func (c LockChoice) String() string {
 	switch c {
 	case LockMCS:
-		return "MCS"
+		return locknames.MCS
 	case LockCNA:
-		return "CNA"
+		return locknames.CNA
 	case LockCNAOpt:
-		return "CNA (opt)"
+		return locknames.CNAOpt
 	case LockCBOMCS:
-		return "C-BO-MCS"
+		return locknames.CBOMCS
 	case LockHMCS:
-		return "HMCS"
+		return locknames.HMCS
 	}
 	return "?"
 }

@@ -1,6 +1,7 @@
 package simlocks
 
 import (
+	"repro/internal/locknames"
 	"repro/internal/memsim"
 )
 
@@ -154,7 +155,7 @@ func (l *CNA) findSuccessor(t *memsim.T, me *cnaNode) uint64 {
 // Name implements Mutex.
 func (l *CNA) Name() string {
 	if l.opts.ShuffleReduction {
-		return "CNA (opt)"
+		return locknames.CNAOpt
 	}
-	return "CNA"
+	return locknames.CNA
 }

@@ -3,6 +3,7 @@ package simlocks
 import (
 	"math"
 
+	"repro/internal/locknames"
 	"repro/internal/memsim"
 )
 
@@ -83,7 +84,7 @@ func (l *CBOMCS) Unlock(t *memsim.T) {
 }
 
 // Name implements Mutex.
-func (l *CBOMCS) Name() string { return "C-BO-MCS" }
+func (l *CBOMCS) Name() string { return locknames.CBOMCS }
 
 // ---- HMCS (two-level hierarchical MCS) ----
 
@@ -192,4 +193,4 @@ func (l *HMCS) releaseRoot(t *memsim.T, leaf *hmcsLeaf) {
 }
 
 // Name implements Mutex.
-func (l *HMCS) Name() string { return "HMCS" }
+func (l *HMCS) Name() string { return locknames.HMCS }

@@ -1,6 +1,7 @@
 package simlocks
 
 import (
+	"repro/internal/locknames"
 	"repro/internal/memsim"
 )
 
@@ -95,7 +96,7 @@ func (l *QSpin) Unlock(t *memsim.T) {
 // Name implements Mutex.
 func (l *QSpin) Name() string {
 	if l.cna {
-		return "CNA"
+		return locknames.CNA
 	}
 	return "stock"
 }

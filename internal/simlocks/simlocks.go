@@ -13,6 +13,7 @@
 package simlocks
 
 import (
+	"repro/internal/locknames"
 	"repro/internal/memsim"
 )
 
@@ -67,7 +68,7 @@ func (l *BackoffTAS) Lock(t *memsim.T) {
 func (l *BackoffTAS) Unlock(t *memsim.T) { t.Store(l.state, 0) }
 
 // Name implements Mutex.
-func (l *BackoffTAS) Name() string { return "BO-TAS" }
+func (l *BackoffTAS) Name() string { return locknames.BOTAS }
 
 // ---- Ticket lock ----
 
@@ -97,7 +98,7 @@ func (l *Ticket) Unlock(t *memsim.T) {
 }
 
 // Name implements Mutex.
-func (l *Ticket) Name() string { return "TKT" }
+func (l *Ticket) Name() string { return locknames.Ticket }
 
 // ---- MCS ----
 
@@ -154,4 +155,4 @@ func (l *MCS) Unlock(t *memsim.T) {
 }
 
 // Name implements Mutex.
-func (l *MCS) Name() string { return "MCS" }
+func (l *MCS) Name() string { return locknames.MCS }

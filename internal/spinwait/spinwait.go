@@ -45,18 +45,17 @@ func Pause() {
 	runtime.Gosched()
 }
 
-// procyield burns a few cycles without touching memory. The loop is kept
-// trivial so the compiler cannot delete it entirely (sink is package
-// level and volatile-ish via //go:noinline accessor semantics).
-var sink uint64
-
+// procyield burns a few cycles without touching memory. //go:noinline
+// keeps the call opaque so the loop cannot be deleted at call sites; no
+// shared sink is involved, so concurrent spinners stay race-free.
+//
 //go:noinline
-func procyield() {
-	x := sink
+func procyield() uint64 {
+	x := uint64(1)
 	for i := 0; i < 4; i++ {
 		x = x*2862933555777941757 + 3037000493
 	}
-	sink = x
+	return x
 }
 
 // Backoff implements capped exponential backoff, used by the test-and-set

@@ -5,13 +5,25 @@
 // multi-socket machine on which every figure of the paper's evaluation
 // is regenerated.
 //
-// This file is the public facade: the types most users need, re-exported
-// from the internal packages that implement them.
+// This file is the public facade. The API is registry-first: every lock
+// algorithm in the tree — TAS, TTAS, BO-TAS, TKT, PTL, MCS, CLH, HBO,
+// MCSCR, the three cohort variants, HMCS, CNA and CNA-opt — registers
+// itself with internal/lockreg, and Build constructs any of them by
+// (case-insensitive) name:
 //
-//	arena := repro.NewArena(maxThreads)          // shared queue nodes
-//	lock  := repro.NewCNA(arena)                 // one word of shared state
-//	th    := repro.NewThread(id, socket)         // per-worker identity
+//	env  := repro.Env{MaxThreads: workers, Topology: repro.TwoSocketXeonE5()}
+//	lock := repro.MustBuild("cna", env)          // or "MCS", "hmcs", "c-bo-mcs", ...
+//	th   := repro.NewThread(id, socket)          // per-worker identity
 //	lock.Lock(th); ...critical section...; lock.Unlock(th)
+//
+// Locks() enumerates every algorithm with its description; functional
+// options (WithThreshold, WithMaxLocalPasses, ...) override the paper's
+// default policy knobs:
+//
+//	lock := repro.MustBuild("CNA", env, repro.WithThreshold(0x3ff))
+//
+// The CNA-specific constructors (NewCNA, NewArena) remain for callers
+// that want the concrete *CNA type, e.g. to read Stats().
 //
 // See examples/ for runnable programs and cmd/reproduce for the paper's
 // evaluation.
@@ -19,6 +31,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/lockreg"
 	"repro/internal/locks"
 	"repro/internal/numa"
 	"repro/internal/qspin"
@@ -34,6 +47,78 @@ type Thread = locks.Thread
 
 // NewThread returns a Thread with the given id and socket.
 func NewThread(id, socket int) *Thread { return locks.NewThread(id, socket) }
+
+// ---- Registry-first construction ----
+
+// Env carries the construction-time environment for Build: the
+// thread-ID bound, the NUMA topology, and an optional shared CNA Arena.
+type Env = lockreg.Env
+
+// LockSpec describes one registered algorithm (name, aliases,
+// description, NUMA-awareness, constructor).
+type LockSpec = lockreg.Spec
+
+// BuildOption tunes an algorithm's policy knobs; see the With*
+// functions. Options an algorithm does not understand are ignored.
+type BuildOption = lockreg.Option
+
+// Locks returns every registered lock algorithm in registration order
+// (simple spin locks, queue locks, then NUMA-aware locks).
+func Locks() []LockSpec { return lockreg.All() }
+
+// LockNames returns the canonical algorithm names, in the same stable
+// order as Locks().
+func LockNames() []string { return lockreg.Names() }
+
+// LookupLock resolves a case-insensitive name or alias to its spec.
+func LookupLock(name string) (LockSpec, bool) { return lockreg.Lookup(name) }
+
+// Build constructs the named lock in the given environment. Unknown
+// names return an error listing every registered spelling.
+func Build(name string, env Env, opts ...BuildOption) (Mutex, error) {
+	return lockreg.Build(name, env, opts...)
+}
+
+// MustBuild is Build for statically known names; it panics on unknown
+// ones.
+func MustBuild(name string, env Env, opts ...BuildOption) Mutex {
+	return lockreg.MustBuild(name, env, opts...)
+}
+
+// Functional options, re-exported from internal/lockreg as wrapper
+// functions (not vars, so callers cannot rebind them). Defaults are the
+// paper's settings; see each function's doc there.
+
+// WithThreshold sets the long-term-fairness mask (CNA's THRESHOLD,
+// MCSCR's revive mask; paper default 0xffff).
+func WithThreshold(mask uint64) BuildOption { return lockreg.WithThreshold(mask) }
+
+// WithShuffleReduction toggles CNA's Section 6 shuffle reduction.
+func WithShuffleReduction(on bool) BuildOption { return lockreg.WithShuffleReduction(on) }
+
+// WithFairnessCountdown toggles CNA's Section 6 countdown variant of
+// keep_lock_local.
+func WithFairnessCountdown(on bool) BuildOption { return lockreg.WithFairnessCountdown(on) }
+
+// WithBackoff sets the BO-TAS backoff window in pause units.
+func WithBackoff(min, max uint) BuildOption { return lockreg.WithBackoff(min, max) }
+
+// WithHBOBackoff sets HBO's local and remote backoff windows.
+func WithHBOBackoff(localMin, localMax, remoteMin, remoteMax uint) BuildOption {
+	return lockreg.WithHBOBackoff(localMin, localMax, remoteMin, remoteMax)
+}
+
+// WithMaxLocalPasses bounds consecutive same-socket handovers for the
+// cohort locks and HMCS (default 64).
+func WithMaxLocalPasses(n int) BuildOption { return lockreg.WithMaxLocalPasses(n) }
+
+// WithSlots sets the number of PTL grant slots.
+func WithSlots(n int) BuildOption { return lockreg.WithSlots(n) }
+
+// WithMinActive sets MCSCR's floor on circulating threads.
+func WithMinActive(n int) BuildOption { return lockreg.WithMinActive(n) }
+
+// ---- CNA concrete types (for callers that need Stats or arenas) ----
 
 // CNA is the paper's compact NUMA-aware lock.
 type CNA = core.Lock
@@ -62,11 +147,13 @@ func NewCNAWithOptions(arena *Arena, opts CNAOptions) *CNA {
 func DefaultCNAOptions() CNAOptions { return core.DefaultOptions() }
 
 // OptimizedCNAOptions enables the Section 6 shuffle-reduction
-// optimisation ("CNA (opt)").
+// optimisation ("CNA-opt").
 func OptimizedCNAOptions() CNAOptions { return core.OptimizedOptions() }
 
 // NewMCS returns the MCS baseline lock.
 func NewMCS(maxThreads int) Mutex { return locks.NewMCS(maxThreads) }
+
+// ---- Machine shapes ----
 
 // Topology describes a NUMA machine (sockets × cores × threads).
 type Topology = numa.Topology
@@ -76,6 +163,8 @@ func TwoSocketXeonE5() Topology { return numa.TwoSocketXeonE5() }
 
 // FourSocketXeonE7 is the paper's 4-socket machine shape (144 CPUs).
 func FourSocketXeonE7() Topology { return numa.FourSocketXeonE7() }
+
+// ---- Kernel-style qspinlock ----
 
 // SpinLock is the 4-byte Linux-kernel-style qspinlock.
 type SpinLock = qspin.SpinLock
