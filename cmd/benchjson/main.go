@@ -1,0 +1,185 @@
+// benchjson is the perf-regression pipeline's measurement step: it runs
+// the two real-lock sweeps whose wall-clock numbers are meaningful on
+// any host — uncontended acquire/release latency (the single-thread row
+// of the paper's Figure 6) and contended handover throughput — over
+// every registered lock algorithm, and writes the results as a
+// machine-readable JSON report.
+//
+// The checked-in BENCH_locks.json at the repository root is the output
+// of a full run (go run ./cmd/benchjson), giving the repository a
+// trajectory of numbers over time; CI runs the -short variant on every
+// PR and archives the report as an artifact, so hot-path regressions
+// show up next to the diff that caused them.
+//
+// Locks are built through the registry with default options — in
+// particular with statistics collection OFF, so the sweep measures
+// exactly the hot paths a default-built lock ships with.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/lockreg"
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_locks.json", "output file for the JSON report")
+		lockList = flag.String("locks", "all", "comma-separated lock names (see README), or 'all'")
+		threads  = flag.String("threads", "", "comma-separated contended thread counts (default 2,4)")
+		short    = flag.Bool("short", false, "smoke mode for CI: ~4x shorter measurement windows and fewer repeats (noisier numbers)")
+	)
+	flag.Parse()
+
+	specs, err := lockreg.Resolve(*lockList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	counts, err := parseCounts(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// Durations: long enough for a stable average on a quiet host, short
+	// enough that the CI smoke run stays in seconds.
+	latencyBudget := 100 * time.Millisecond
+	contendedDur := 80 * time.Millisecond
+	repeats := 3
+	if *short {
+		latencyBudget = 20 * time.Millisecond
+		contendedDur = 20 * time.Millisecond
+		repeats = 2
+	}
+
+	var results []harness.Result
+	env := lockreg.Env{MaxThreads: maxInt(counts), Topology: numa.TwoSocketXeonE5()}
+
+	// Sweep 1: uncontended acquire/release latency, one thread.
+	for _, spec := range specs {
+		r := uncontendedLatency(spec, env, latencyBudget)
+		results = append(results, r)
+	}
+
+	// Sweep 2: contended handover throughput over a shared counter.
+	for _, spec := range specs {
+		for _, n := range counts {
+			spec := spec
+			r := harness.Run(harness.Config{
+				Name:     fmt.Sprintf("contended/t%d/%s", n, spec.Name),
+				Topo:     env.Topology,
+				Threads:  n,
+				Duration: contendedDur,
+				Repeats:  repeats,
+			}, counterWorkload(spec, env))
+			r.Lock = spec.Name
+			results = append(results, r)
+		}
+	}
+
+	report := harness.NewReport(*short, results)
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := report.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(harness.FormatResults(results))
+	fmt.Printf("\nwrote %d results to %s\n", len(results), *out)
+}
+
+// uncontendedLatency times batches of lock/unlock pairs on one thread
+// within a wall-clock budget and reports the fastest batch (the usual
+// best-of discipline for latency microbenchmarks: the minimum is the
+// run least disturbed by the host).
+func uncontendedLatency(spec lockreg.Spec, env lockreg.Env, budget time.Duration) harness.Result {
+	l := spec.Build(env)
+	th := locks.NewThread(0, 0)
+	const batch = 20000
+	// Warmup: faults the node storage in and trains branch predictors.
+	for i := 0; i < batch; i++ {
+		l.Lock(th)
+		l.Unlock(th)
+	}
+	best := time.Duration(1<<63 - 1)
+	var total uint64
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			l.Lock(th)
+			l.Unlock(th)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		total += batch
+	}
+	ns := float64(best.Nanoseconds()) / batch
+	return harness.Result{
+		Name:       "uncontended/" + spec.Name,
+		Lock:       spec.Name,
+		Threads:    1,
+		NsPerOp:    ns,
+		Throughput: 1000 / ns, // ops per microsecond
+		Fairness:   1,
+		TotalOps:   total,
+	}
+}
+
+// counterWorkload builds a fresh default-options lock per run protecting
+// a shared counter — the paper's minimal contended critical section.
+func counterWorkload(spec lockreg.Spec, env lockreg.Env) harness.Workload {
+	return func(threads int) func(*locks.Thread, int) {
+		e := env
+		e.MaxThreads = threads
+		m := spec.Build(e)
+		var counter uint64
+		return func(t *locks.Thread, op int) {
+			m.Lock(t)
+			counter++
+			m.Unlock(t)
+		}
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{2, 4}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("benchjson: bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func maxInt(xs []int) int {
+	m := 1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -32,9 +32,11 @@ type table struct {
 // the same storage — a million buckets cost one word of lock state each.
 func newTable(buckets int, env repro.Env) *table {
 	t := &table{buckets: make([]bucket, buckets)}
+	// WithStats is opt-in instrumentation; this example reports the hot
+	// bucket's handover locality at the end, so it pays for counters.
 	for i := range t.buckets {
 		t.buckets[i] = bucket{
-			lock:  repro.MustBuild("CNA", env).(*repro.CNA),
+			lock:  repro.MustBuild("CNA", env, repro.WithStats(true)).(*repro.CNA),
 			items: make(map[uint64]uint64),
 		}
 	}

@@ -25,6 +25,7 @@ type inode struct {
 func main() {
 	topo := repro.TwoSocketXeonE5()
 	domain := repro.NewSpinDomain(topo, true) // true = CNA slow path
+	domain.EnableStats()                      // opt-in: this example prints path counters
 
 	inodes := make([]inode, 1024)
 	for i := range inodes {

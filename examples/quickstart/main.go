@@ -21,8 +21,10 @@ func main() {
 
 	// Build the lock by name through the registry — any algorithm from
 	// repro.LockNames() slots in here; names are case-insensitive.
+	// Statistics are opt-in (they cost a few counter writes per
+	// acquisition), and this example prints them, so ask for them.
 	env := repro.Env{MaxThreads: workers, Topology: topo}
-	lock := repro.MustBuild("cna", env).(*repro.CNA)
+	lock := repro.MustBuild("cna", env, repro.WithStats(true)).(*repro.CNA)
 
 	counter := 0
 	var wg sync.WaitGroup

@@ -31,10 +31,25 @@
 //	me->spin == 0          spin.Load() == nil        (still waiting)
 //	me->spin == 1          spin.Load() == granted    (lock held, secondary queue empty)
 //	me->spin  > 1          any other non-nil value   (lock held, points at secondary head)
+//
+// # Hot-path engineering
+//
+// The headline claim — CNA matches MCS on the uncontended fast path —
+// holds only if the Go port does not pay costs the C pseudo-code never
+// does, so the hot paths are tuned accordingly: queue nodes are located
+// through a per-Thread cached base pointer (one add) rather than a
+// two-level slice index per acquisition; the spin word is cleared on the
+// contended path only (an empty-queue entrant overwrites it with granted
+// anyway, and a predecessor cannot reach the node before it is linked);
+// the unlock path loads the holder's spin word once (only the holder
+// writes it, so one load serves every decision); and statistics
+// collection is opt-in (EnableStats / the registry's WithStats), so a
+// default-built lock's handover path performs no counter writes at all.
 package core
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/locks"
 	"repro/internal/spinwait"
@@ -47,8 +62,9 @@ var granted = &Node{}
 
 // Node is a CNA queue node. As in MCS, nodes are owned by threads, reused
 // across acquisitions, and carried (implicitly, via the Thread's nesting
-// slot) from Lock to Unlock. A node is one cache line:
-// cf. the paper's cna_node_t {spin, socket, secTail, next}.
+// slot) from Lock to Unlock. A node is exactly one cache line (asserted
+// in size_test.go): cf. the paper's cna_node_t {spin, socket, secTail,
+// next}.
 type Node struct {
 	// spin is the word the owner waits on; see the package comment for
 	// its three-valued meaning.
@@ -62,7 +78,22 @@ type Node struct {
 	secTail atomic.Pointer[Node]
 	// next is the MCS-style link to the queue successor.
 	next atomic.Pointer[Node]
-	_    [2]uint64 // pad to a cache line together with the fields above
+	_    [4]uint64 // pad to exactly one 64-byte cache line
+}
+
+// nodeBytes is the per-node stride used by the cached-base index path.
+const nodeBytes = unsafe.Sizeof(Node{})
+
+// clearNext resets the queue link with a plain (non-atomic) store. Legal
+// only before the tail Swap publishes the node: until then no other
+// thread holds a reference to it — the previous acquisition's unlock
+// returned only after (atomically) observing any in-flight successor
+// link, so no writer from an earlier round can still be pending. Skipping
+// the atomic store matters because Go compiles atomic pointer stores to
+// XCHG, a full memory barrier that profiles as ~20% of the uncontended
+// acquire on its own.
+func (n *Node) clearNext() {
+	*(*unsafe.Pointer)(unsafe.Pointer(&n.next)) = nil
 }
 
 // Options tune the CNA policy knobs described in Sections 5 and 6.
@@ -104,7 +135,8 @@ func OptimizedOptions() Options {
 }
 
 // Stats are CNA-specific counters, maintained by the lock holder (so they
-// need no atomics) and meaningful only while the lock is idle.
+// need no atomics) and meaningful only while the lock is idle. Collection
+// is opt-in via EnableStats; a default-built lock never writes them.
 type Stats struct {
 	// Handover counts where ownership travelled.
 	Handover locks.HandoverCounter
@@ -142,14 +174,31 @@ func NewArena(maxThreads int) *Arena {
 // MaxThreads reports the thread-ID bound the arena was built for.
 func (a *Arena) MaxThreads() int { return len(a.nodes) }
 
+// base returns the address of t's first node in the arena, consulting
+// the thread's single-entry cache keyed on the arena's identity. Every
+// lock sharing the arena shares cache hits, so the steady-state cost is
+// one pointer compare — the node for a nesting slot is then one add away.
+func (a *Arena) base(t *locks.Thread) unsafe.Pointer {
+	key := unsafe.Pointer(a)
+	if p := t.NodeBase(key); p != nil {
+		return p
+	}
+	p := unsafe.Pointer(&a.nodes[t.ID])
+	t.SetNodeBase(key, p)
+	return p
+}
+
 // Lock is a CNA lock. Its shared state — the only memory other threads'
-// hot paths touch — is the single tail word; the remaining fields are
-// configuration, statistics and a pointer to the (shareable) node arena.
+// hot paths touch — is the single tail word, padded onto its own cache
+// line so that arriving threads' tail swaps do not invalidate the
+// holder-read configuration (and optional statistics) below it.
 type Lock struct {
-	tail  atomic.Pointer[Node]
+	tail atomic.Pointer[Node]
+	_    [7]uint64
+
 	opts  Options
 	arena *Arena
-	stats Stats
+	stats *Stats // nil until EnableStats: default builds write no counters
 
 	// countdown holds per-thread remaining local handovers when
 	// FairnessCountdown is on. Indexed by thread ID and touched only by
@@ -184,7 +233,6 @@ func NewWithArena(arena *Arena, opts Options) *Lock {
 	l := &Lock{
 		opts:  opts,
 		arena: arena,
-		stats: Stats{Handover: locks.NewHandoverCounter()},
 	}
 	if opts.FairnessCountdown {
 		l.countdown = make([]paddedCounter, arena.MaxThreads())
@@ -202,39 +250,60 @@ func (l *Lock) Name() string {
 	return "CNA"
 }
 
+// EnableStats implements locks.StatsEnabler: it switches on holder-side
+// statistics collection. Call before the lock is shared.
+func (l *Lock) EnableStats() {
+	if l.stats == nil {
+		l.stats = &Stats{Handover: locks.NewHandoverCounter()}
+	}
+}
+
 // Stats exposes the lock's counters. Read only while the lock is idle.
-func (l *Lock) Stats() *Stats { return &l.stats }
+// Without EnableStats the returned snapshot is all zeros.
+func (l *Lock) Stats() *Stats {
+	if l.stats == nil {
+		return &Stats{Handover: locks.NewHandoverCounter()}
+	}
+	return l.stats
+}
 
 // Lock acquires the lock for t. This is Figure 3 of the paper: a single
-// atomic exchange on the tail, then local spinning on the node.
+// atomic exchange on the tail, then local spinning on the node. The
+// node itself is one add from the thread's cached arena base.
 func (l *Lock) Lock(t *locks.Thread) {
-	me := &l.arena.nodes[t.ID][t.AcquireSlot()]
+	me := (*Node)(unsafe.Add(l.arena.base(t), uintptr(t.AcquireSlot())*nodeBytes))
 	l.lockNode(me, t)
 }
 
 // Unlock releases the lock for t (Figure 4 of the paper).
 func (l *Lock) Unlock(t *locks.Thread) {
-	me := &l.arena.nodes[t.ID][t.ReleaseSlot()]
+	me := (*Node)(unsafe.Add(l.arena.base(t), uintptr(t.ReleaseSlot())*nodeBytes))
 	l.unlockNode(me, t)
 }
 
 // lockNode runs the acquisition protocol on an explicit node.
 func (l *Lock) lockNode(me *Node, t *locks.Thread) {
-	me.next.Store(nil)
+	me.clearNext()
 	me.socket = -1
-	me.spin.Store(nil)
 
 	// Add myself to the main queue — the only atomic in the lock path.
 	tail := l.tail.Swap(me)
 	if tail == nil {
-		// No one there. Mark the spin field so the unlock path can tell
-		// "no secondary queue" (the pseudo-code's me->spin = 1).
-		me.spin.Store(granted)
-		l.stats.Handover.Record(t.Socket)
+		// No one there: we hold the lock with no secondary queue. The
+		// pseudo-code records that by setting me->spin = 1; here the
+		// still-set socket == -1 carries the same fact to unlockNode, so
+		// the fast path writes nothing beyond the link reset and the tail
+		// swap — this is what keeps CNA at MCS speed single-threaded.
+		if st := l.stats; st != nil {
+			st.Handover.Record(t.Socket)
+		}
 		return
 	}
-	// Someone there; record our socket and link in. The socket lookup is
-	// deliberately on the contended path only.
+	// Someone there; clear the spin word (deferred off the fast path —
+	// the predecessor cannot observe this node until it is linked in),
+	// record our socket, and link. The socket lookup is deliberately on
+	// the contended path only.
+	me.spin.Store(nil)
 	me.socket = int32(t.Socket)
 	tail.next.Store(me)
 	// Wait for the lock to become available.
@@ -242,15 +311,27 @@ func (l *Lock) lockNode(me *Node, t *locks.Thread) {
 	for me.spin.Load() == nil {
 		s.Pause()
 	}
-	l.stats.Handover.Record(t.Socket)
+	if st := l.stats; st != nil {
+		st.Handover.Record(t.Socket)
+	}
 }
 
-// unlockNode runs the release protocol on an explicit node.
+// unlockNode runs the release protocol on an explicit node. The holder's
+// spin word is loaded at most once: an empty-queue entrant (socket still
+// -1) never had its spin word written, so its value is derived instead
+// of read, and nobody but the holder writes the holder's spin word, so
+// the local copy (threaded through findSuccessor, which may replace it
+// when it starts a secondary queue) stays authoritative for the whole
+// release.
 func (l *Lock) unlockNode(me *Node, t *locks.Thread) {
 	next := me.next.Load()
+	sp := granted
+	if me.socket != -1 {
+		sp = me.spin.Load()
+	}
 	if next == nil {
 		// No linked successor in the main queue.
-		if sp := me.spin.Load(); sp == granted {
+		if sp == granted {
 			// Secondary queue empty too: try to swing the tail to nil,
 			// leaving the lock completely free.
 			if l.tail.CompareAndSwap(me, nil) {
@@ -260,10 +341,11 @@ func (l *Lock) unlockNode(me *Node, t *locks.Thread) {
 			// Main queue looks empty but the secondary queue is not: try
 			// to make the secondary queue the new main queue and hand the
 			// lock to its head.
-			secHead := sp
-			if l.tail.CompareAndSwap(me, secHead.secTail.Load()) {
-				l.stats.Flushes++
-				secHead.spin.Store(granted)
+			if l.tail.CompareAndSwap(me, sp.secTail.Load()) {
+				if st := l.stats; st != nil {
+					st.Flushes++
+				}
+				sp.spin.Store(granted)
 				return
 			}
 		}
@@ -278,7 +360,7 @@ func (l *Lock) unlockNode(me *Node, t *locks.Thread) {
 	// Shuffle reduction (Section 6): under light contention, with an
 	// empty secondary queue, skip the successor scan with high
 	// probability and behave like MCS.
-	if l.opts.ShuffleReduction && me.spin.Load() == granted &&
+	if l.opts.ShuffleReduction && sp == granted &&
 		t.RNG.Next()&l.opts.ShuffleMask != 0 {
 		next.spin.Store(granted)
 		return
@@ -287,23 +369,24 @@ func (l *Lock) unlockNode(me *Node, t *locks.Thread) {
 	// Determine the next lock holder and pass the lock via its spin field.
 	var succ *Node
 	if l.keepLockLocal(t) {
-		succ = l.findSuccessor(me, t)
+		succ, sp = l.findSuccessor(me, next, sp, t)
 	}
 	switch {
 	case succ != nil:
 		// Hand over on-socket, forwarding the secondary-queue head (or
-		// the sentinel) that rides in our spin field. The value stored is
-		// always non-nil: an empty-queue entrant set it to granted.
-		succ.spin.Store(me.spin.Load())
-	case me.spin.Load() != granted:
+		// the sentinel) in the successor's spin field. The value stored
+		// is always non-nil: an empty-queue entrant set it to granted.
+		succ.spin.Store(sp)
+	case sp != granted:
 		// No same-socket successor (or fairness triggered): splice the
 		// secondary queue in front of our main-queue successor and hand
 		// the lock to the secondary head. Its secTail needs no clearing —
 		// the new holder never reads it (cf. Figure 1(g)).
-		secHead := me.spin.Load()
-		secHead.secTail.Load().next.Store(next)
-		l.stats.Flushes++
-		secHead.spin.Store(granted)
+		sp.secTail.Load().next.Store(next)
+		if st := l.stats; st != nil {
+			st.Flushes++
+		}
+		sp.spin.Store(granted)
 	default:
 		// Secondary queue empty: plain MCS handover.
 		next.spin.Store(granted)
@@ -334,18 +417,23 @@ func (l *Lock) keepLockLocal(t *locks.Thread) bool {
 	return t.RNG.Next()&l.opts.KeepLocalMask != 0
 }
 
-// findSuccessor is Figure 5 of the paper: scan the main queue for a
-// waiter on my socket; move everything skipped onto the secondary queue.
-// Returns nil (without touching the queues) if no such waiter is linked.
-func (l *Lock) findSuccessor(me *Node, t *locks.Thread) *Node {
-	next := me.next.Load()
+// findSuccessor is Figure 5 of the paper: scan the main queue (starting
+// at next, the holder's already-loaded successor) for a waiter on my
+// socket; move everything skipped onto the secondary queue. sp is the
+// holder's current spin value; the possibly updated value (when the
+// moved run starts a fresh secondary queue) is returned alongside the
+// successor, so the caller never re-reads the spin word. Returns a nil
+// successor (without touching the queues) if no such waiter is linked.
+// The holder's own spin word is deliberately not rewritten: ownership of
+// the secondary queue travels to the successor via the returned value.
+func (l *Lock) findSuccessor(me, next, sp *Node, t *locks.Thread) (*Node, *Node) {
 	mySocket := me.socket
 	if mySocket == -1 {
 		mySocket = int32(t.Socket)
 	}
 	// Check if my immediate successor is on the same socket.
 	if next.socket == mySocket {
-		return next
+		return next, sp
 	}
 	secHead := next
 	secTail := next
@@ -356,28 +444,27 @@ func (l *Lock) findSuccessor(me *Node, t *locks.Thread) *Node {
 	for cur != nil {
 		if cur.socket == mySocket {
 			// Move [secHead, secTail] to the secondary queue: append to
-			// its tail if it exists, otherwise it becomes the queue and
-			// its head pointer rides in our spin field.
-			if sp := me.spin.Load(); sp != granted {
+			// its tail if it exists, otherwise the run becomes the queue
+			// and its head is the new spin value.
+			if sp != granted {
 				sp.secTail.Load().next.Store(secHead)
 			} else {
-				me.spin.Store(secHead)
+				sp = secHead
 			}
 			secTail.next.Store(nil)
-			l.spinValue(me).secTail.Store(secTail)
-			l.stats.QueueAlterations++
-			l.stats.SecondaryMoves += moved
-			return cur
+			sp.secTail.Store(secTail)
+			if st := l.stats; st != nil {
+				st.QueueAlterations++
+				st.SecondaryMoves += moved
+			}
+			return cur, sp
 		}
 		secTail = cur
 		moved++
 		cur = cur.next.Load()
 	}
-	return nil
+	return nil, sp
 }
 
-// spinValue returns the holder's current spin word (never nil for a
-// holder; the pseudo-code dereferences me->spin the same way).
-func (l *Lock) spinValue(me *Node) *Node { return me.spin.Load() }
-
 var _ locks.Mutex = (*Lock)(nil)
+var _ locks.StatsEnabler = (*Lock)(nil)

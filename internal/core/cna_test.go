@@ -43,6 +43,7 @@ func chain(t *testing.T, label string, nodes ...*Node) {
 // socket 1.
 func TestFigure1RunningExample(t *testing.T) {
 	l := New(8)
+	l.EnableStats()
 	l.forceKeepLocal = 1 // make keep_lock_local deterministic for the replay
 
 	th := make([]*locks.Thread, 8)
@@ -279,6 +280,7 @@ func TestMutualExclusion(t *testing.T) {
 func TestFIFOModeNeverTouchesSecondaryQueue(t *testing.T) {
 	const threads, iters = 6, 200
 	l := NewWithOptions(threads, Options{KeepLocalMask: 0})
+	l.EnableStats()
 	var wg sync.WaitGroup
 	var counter int
 	for w := 0; w < threads; w++ {
@@ -326,8 +328,10 @@ func TestLocalityBeatsMCS(t *testing.T) {
 	}
 
 	cna := New(threads)
+	cna.EnableStats()
 	run(cna)
 	mcs := locks.NewMCS(threads)
+	mcs.EnableStats()
 	run(mcs)
 
 	cnaFrac := cna.stats.Handover.RemoteFraction()
@@ -487,6 +491,7 @@ func TestShuffleReductionReducesAlterations(t *testing.T) {
 	run := func(opts Options) uint64 {
 		const threads, iters = 6, 300
 		l := NewWithOptions(threads, opts)
+		l.EnableStats()
 		var wg sync.WaitGroup
 		for w := 0; w < threads; w++ {
 			wg.Add(1)

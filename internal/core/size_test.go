@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"testing"
 	"unsafe"
 )
@@ -19,11 +20,61 @@ func TestSharedStateIsOneWord(t *testing.T) {
 	}
 }
 
-// TestNodeFitsOneCacheLine: a queue node must not straddle cache lines
-// (the paper's cna_node_t with padding).
-func TestNodeFitsOneCacheLine(t *testing.T) {
-	if got := unsafe.Sizeof(Node{}); got > 64 {
-		t.Fatalf("Node is %d bytes, want <= 64", got)
+// TestNodeIsExactlyOneCacheLine: a queue node must fill exactly one
+// 64-byte cache line (the paper's cna_node_t with padding) — neither
+// straddling two lines nor leaving a tail that a neighbouring node's hot
+// fields could share.
+func TestNodeIsExactlyOneCacheLine(t *testing.T) {
+	if got := unsafe.Sizeof(Node{}); got != 64 {
+		t.Fatalf("Node is %d bytes, want exactly 64", got)
+	}
+	// Nodes are indexed by stride arithmetic off a cached base; the
+	// stride constant must match the real size.
+	if nodeBytes != unsafe.Sizeof(Node{}) {
+		t.Fatalf("nodeBytes = %d, want %d", nodeBytes, unsafe.Sizeof(Node{}))
+	}
+}
+
+// TestTailIsolatedFromHolderFields: arriving threads Swap the tail word
+// continuously; every mutable holder-side field (options are read-only
+// after construction, but the stats pointer target, countdown slice and
+// the fields behind them are written by the holder) must live on a
+// different cache line, or contended arrivals would invalidate the
+// holder's line on every enqueue.
+func TestTailIsolatedFromHolderFields(t *testing.T) {
+	const line = 64
+	var l Lock
+	if off := unsafe.Offsetof(l.tail); off != 0 {
+		t.Fatalf("tail at offset %d, want 0", off)
+	}
+	for name, off := range map[string]uintptr{
+		"opts":           unsafe.Offsetof(l.opts),
+		"arena":          unsafe.Offsetof(l.arena),
+		"stats":          unsafe.Offsetof(l.stats),
+		"countdown":      unsafe.Offsetof(l.countdown),
+		"forceKeepLocal": unsafe.Offsetof(l.forceKeepLocal),
+	} {
+		if off < line {
+			t.Errorf("%s at offset %d shares the tail's cache line (first %d bytes)",
+				name, off, line)
+		}
+	}
+}
+
+// TestClearNextLayoutAssumption: clearNext bypasses the atomic store by
+// writing the pointer word directly, which is sound only while
+// atomic.Pointer is exactly one pointer word with no header. Pin that
+// layout, and the plain-write/atomic-read agreement, so a stdlib change
+// fails loudly here instead of corrupting queues.
+func TestClearNextLayoutAssumption(t *testing.T) {
+	if got := unsafe.Sizeof(atomic.Pointer[Node]{}); got != unsafe.Sizeof(unsafe.Pointer(nil)) {
+		t.Fatalf("atomic.Pointer[Node] is %d bytes, want pointer-sized", got)
+	}
+	var n, other Node
+	n.next.Store(&other)
+	n.clearNext()
+	if got := n.next.Load(); got != nil {
+		t.Fatalf("after clearNext, next = %p, want nil", got)
 	}
 }
 

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -62,6 +64,36 @@ func TestSweep(t *testing.T) {
 	}, []int{1, 2}, kvWorkload(func(n int) locks.Mutex { return locks.NewMCS(n) }))
 	if len(results) != 2 || results[0].Threads != 1 || results[1].Threads != 2 {
 		t.Fatalf("sweep results malformed: %+v", results)
+	}
+}
+
+func TestReportJSONRoundTrips(t *testing.T) {
+	in := NewReport(true, []Result{
+		{Name: "uncontended/MCS", Lock: "MCS", Threads: 1, Throughput: 30, NsPerOp: 33.3},
+		{Name: "contended/t4/CNA", Lock: "CNA", Threads: 4, Throughput: 2.4, Fairness: 0.9, TotalOps: 1000},
+	})
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("report does not round-trip: %v\n%s", err, buf.String())
+	}
+	if out.Schema != ReportSchema {
+		t.Fatalf("schema = %q, want %q", out.Schema, ReportSchema)
+	}
+	if len(out.Results) != 2 || out.Results[0].Lock != "MCS" || out.Results[1].TotalOps != 1000 {
+		t.Fatalf("results mangled: %+v", out.Results)
+	}
+	// The stable schema: field names the trajectory tooling greps for.
+	for _, key := range []string{`"ops_per_us"`, `"ns_per_op"`, `"go_version"`, `"results"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing schema key %s:\n%s", key, buf.String())
+		}
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("JSON report must end with a newline (checked-in file hygiene)")
 	}
 }
 

@@ -164,12 +164,13 @@ func handovers(m locks.Mutex) (*locks.HandoverCounter, bool) {
 // TestConformanceHandoverLocality drives a deterministic uncontended
 // handover sequence — socket 0, socket 0 again, then socket 1 — and
 // checks that instrumented locks classify it as exactly one local and
-// one remote handover.
+// one remote handover. Statistics are opt-in, so the locks are built
+// with WithStats(true).
 func TestConformanceHandoverLocality(t *testing.T) {
 	for _, spec := range All() {
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
-			m := spec.Build(testEnv(3))
+			m := spec.Build(testEnv(3), WithStats(true))
 			h, ok := handovers(m)
 			if !ok {
 				t.Skipf("%s keeps no handover statistics", spec.Name)
@@ -186,6 +187,62 @@ func TestConformanceHandoverLocality(t *testing.T) {
 			local, remote := h.Counts()
 			if local != 1 || remote != 1 {
 				t.Fatalf("%s: handovers = %d local / %d remote, want 1/1", spec.Name, local, remote)
+			}
+		})
+	}
+}
+
+// TestConformanceStatsOptIn pins the default build's zero-overhead
+// contract: without WithStats(true), a lock driven through a contended
+// handover-heavy run must report all-zero counters (it performed no
+// counter writes), while the same workload with WithStats(true) must
+// record handovers.
+func TestConformanceStatsOptIn(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 4
+			iters := confIters(t) / 2
+
+			run := func(m locks.Mutex) {
+				ths := confThreads(workers)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						th := ths[w]
+						for i := 0; i < iters; i++ {
+							m.Lock(th)
+							m.Unlock(th)
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+
+			def := spec.Build(testEnv(workers), WithStats(false))
+			run(def)
+			if h, ok := handovers(def); ok {
+				if local, remote := h.Counts(); local != 0 || remote != 0 {
+					t.Fatalf("%s: default build recorded %d/%d handovers, want 0/0",
+						spec.Name, local, remote)
+				}
+			}
+			if l, ok := def.(*core.Lock); ok {
+				st := l.Stats()
+				if st.SecondaryMoves != 0 || st.QueueAlterations != 0 || st.Flushes != 0 {
+					t.Fatalf("%s: default build recorded queue stats %+v, want zeros", spec.Name, st)
+				}
+			}
+
+			inst := spec.Build(testEnv(workers), WithStats(true))
+			run(inst)
+			if h, ok := handovers(inst); ok {
+				if local, remote := h.Counts(); local+remote == 0 {
+					t.Fatalf("%s: WithStats(true) build recorded no handovers", spec.Name)
+				}
 			}
 		})
 	}

@@ -139,9 +139,24 @@ func normalize(name string) string {
 // Register adds a Spec to the registry. It panics on duplicate or empty
 // names — registration happens at init time, so a clash is a programming
 // error, not a runtime condition.
+//
+// Register wraps the Spec's Build so that cross-cutting options are
+// honoured uniformly: WithStats(true) calls EnableStats on any built
+// lock implementing locks.StatsEnabler, so individual Build funcs stay
+// oblivious to instrumentation.
 func Register(s Spec) {
 	if s.Name == "" || s.Build == nil {
 		panic("lockreg: Spec needs a Name and a Build func")
+	}
+	build := s.Build
+	s.Build = func(env Env, opts ...Option) locks.Mutex {
+		m := build(env, opts...)
+		if apply(opts).stats {
+			if se, ok := m.(locks.StatsEnabler); ok {
+				se.EnableStats()
+			}
+		}
+		return m
 	}
 	if registry.index == nil {
 		registry.index = make(map[string]int)

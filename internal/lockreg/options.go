@@ -26,6 +26,8 @@ type config struct {
 	maxLocalPassesVal   int // cohort / HMCS local-handover budget
 	slotsSet, minActSet bool
 	slotsVal, minActVal int // PTL grant slots; MCSCR active floor
+
+	stats bool // enable holder-side statistics collection
 }
 
 // Option tunes one policy knob; see the With* constructors.
@@ -90,6 +92,16 @@ func WithSlots(n int) Option {
 // WithMinActive sets MCSCR's floor on actively circulating threads.
 func WithMinActive(n int) Option {
 	return func(c *config) { c.minActSet = true; c.minActVal = n }
+}
+
+// WithStats toggles holder-side statistics collection (handover
+// locality, secondary-queue traffic) for algorithms that keep them.
+// Statistics default to OFF so a default-built lock's hot paths perform
+// no counter writes at all; pass WithStats(true) when a benchmark or
+// test reads Stats()/Handovers(). Algorithms without statistics ignore
+// the option.
+func WithStats(on bool) Option {
+	return func(c *config) { c.stats = on }
 }
 
 func (c config) thresholdOr(def uint64) uint64 {

@@ -60,7 +60,7 @@ type Lock struct {
 	maxPass  int
 	passes   []paddedCount // consecutive local passes per socket
 	sockets  int
-	handover locks.HandoverCounter
+	handover *locks.HandoverCounter // nil until EnableStats: no counter writes by default
 }
 
 type paddedCount struct {
@@ -77,13 +77,21 @@ func New(name string, global Global, local []Local, maxLocalPasses int) *Lock {
 		maxLocalPasses = 1
 	}
 	return &Lock{
-		name:     name,
-		global:   global,
-		local:    local,
-		maxPass:  maxLocalPasses,
-		passes:   make([]paddedCount, len(local)),
-		sockets:  len(local),
-		handover: locks.NewHandoverCounter(),
+		name:    name,
+		global:  global,
+		local:   local,
+		maxPass: maxLocalPasses,
+		passes:  make([]paddedCount, len(local)),
+		sockets: len(local),
+	}
+}
+
+// EnableStats implements locks.StatsEnabler. Call before the lock is
+// shared.
+func (c *Lock) EnableStats() {
+	if c.handover == nil {
+		h := locks.NewHandoverCounter()
+		c.handover = &h
 	}
 }
 
@@ -95,11 +103,15 @@ func (c *Lock) Lock(t *locks.Thread) {
 	slot := t.AcquireSlot()
 	if c.local[t.Socket].Lock(t, slot) {
 		// Global ownership arrived via cohort passing.
-		c.handover.Record(t.Socket)
+		if h := c.handover; h != nil {
+			h.Record(t.Socket)
+		}
 		return
 	}
 	c.global.Lock(t)
-	c.handover.Record(t.Socket)
+	if h := c.handover; h != nil {
+		h.Record(t.Socket)
+	}
 }
 
 // Unlock releases the composite lock.
@@ -120,6 +132,14 @@ func (c *Lock) Unlock(t *locks.Thread) {
 func (c *Lock) Name() string { return c.name }
 
 // Handovers exposes local/remote handover statistics (read when idle).
-func (c *Lock) Handovers() *locks.HandoverCounter { return &c.handover }
+// Without EnableStats it reports zeros.
+func (c *Lock) Handovers() *locks.HandoverCounter {
+	if c.handover == nil {
+		h := locks.NewHandoverCounter()
+		return &h
+	}
+	return c.handover
+}
 
 var _ locks.Mutex = (*Lock)(nil)
+var _ locks.StatsEnabler = (*Lock)(nil)

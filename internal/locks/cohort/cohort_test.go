@@ -144,6 +144,7 @@ func TestCohortPassingKeepsLockLocal(t *testing.T) {
 	// Two threads on socket 0, two on socket 1, heavy traffic: the vast
 	// majority of handovers should be local thanks to cohort passing.
 	lock := NewCBOMCS(2, 4, DefaultMaxLocalPasses)
+	lock.EnableStats()
 	hammer(t, lock, 4, 500)
 	local, remote := lock.Handovers().Counts()
 	if local+remote == 0 {

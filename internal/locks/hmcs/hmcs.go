@@ -54,7 +54,7 @@ type HMCS struct {
 	leaves    []*leaf
 	nodes     [][locks.MaxNesting]leafNode
 	threshold uint64
-	handover  locks.HandoverCounter
+	handover  *locks.HandoverCounter // nil until EnableStats: no counter writes by default
 }
 
 // New returns an HMCS lock for the given socket count and thread-ID bound,
@@ -70,12 +70,20 @@ func New(sockets, maxThreads int, threshold uint64) *HMCS {
 		leaves:    make([]*leaf, sockets),
 		nodes:     make([][locks.MaxNesting]leafNode, maxThreads),
 		threshold: threshold,
-		handover:  locks.NewHandoverCounter(),
 	}
 	for i := range l.leaves {
 		l.leaves[i] = &leaf{}
 	}
 	return l
+}
+
+// EnableStats implements locks.StatsEnabler. Call before the lock is
+// shared.
+func (l *HMCS) EnableStats() {
+	if l.handover == nil {
+		h := locks.NewHandoverCounter()
+		l.handover = &h
+	}
 }
 
 // Lock acquires the lock for t.
@@ -95,7 +103,9 @@ func (l *HMCS) Lock(t *locks.Thread) {
 		if me.status.Load() != statusAcqPar {
 			// Ownership passed within the cohort; status carries the pass
 			// count for our eventual release.
-			l.handover.Record(t.Socket)
+			if h := l.handover; h != nil {
+				h.Record(t.Socket)
+			}
 			return
 		}
 	}
@@ -113,7 +123,9 @@ func (l *HMCS) Lock(t *locks.Thread) {
 			s.Pause()
 		}
 	}
-	l.handover.Record(t.Socket)
+	if h := l.handover; h != nil {
+		h.Record(t.Socket)
+	}
 }
 
 // Unlock releases the lock for t.
@@ -166,6 +178,14 @@ func (l *HMCS) releaseRoot(lf *leaf) {
 func (l *HMCS) Name() string { return "HMCS" }
 
 // Handovers exposes local/remote handover statistics (read when idle).
-func (l *HMCS) Handovers() *locks.HandoverCounter { return &l.handover }
+// Without EnableStats it reports zeros.
+func (l *HMCS) Handovers() *locks.HandoverCounter {
+	if l.handover == nil {
+		h := locks.NewHandoverCounter()
+		return &h
+	}
+	return l.handover
+}
 
 var _ locks.Mutex = (*HMCS)(nil)
+var _ locks.StatsEnabler = (*HMCS)(nil)

@@ -85,6 +85,7 @@ func TestZeroSocketsPanics(t *testing.T) {
 func TestLocalHandoverDominates(t *testing.T) {
 	place := numa.NewPlacement(numa.TwoSocketXeonE5(), 4, numa.Spread)
 	lock := New(2, 4, DefaultThreshold)
+	lock.EnableStats()
 	hammer(t, lock, place, 4, 500)
 	if frac := lock.Handovers().RemoteFraction(); frac > 0.5 {
 		local, remote := lock.Handovers().Counts()

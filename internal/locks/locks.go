@@ -31,6 +31,7 @@ package locks
 
 import (
 	"fmt"
+	"unsafe"
 
 	"repro/internal/prng"
 )
@@ -54,6 +55,17 @@ type Thread struct {
 
 	// nest is the current lock-nesting depth (LIFO discipline).
 	nest int
+
+	// nodeKey/nodeBase cache the thread's most recent queue-node base
+	// resolution: nodeBase points at this thread's first preallocated
+	// node inside the storage identified by nodeKey (a CNA arena, an MCS
+	// lock's node block, ...). Queue locks consult the cache through
+	// NodeBase so the acquire hot path indexes nodes with one add from a
+	// precomputed base instead of a two-level slice walk per Lock call.
+	// A Thread is single-goroutine by contract (see nest), so plain
+	// fields suffice.
+	nodeKey  unsafe.Pointer
+	nodeBase unsafe.Pointer
 }
 
 // NewThread returns a Thread with the given id and socket and a
@@ -66,22 +78,53 @@ func NewThread(id, socket int) *Thread {
 // for lock implementations (including those in subpackages), not for lock
 // users: every Lock implementation that needs per-acquisition state calls
 // it exactly once on entry and pairs it with ReleaseSlot in Unlock.
+// The panic paths live in separate functions so AcquireSlot/ReleaseSlot
+// themselves stay inlinable into the lock hot paths.
 func (t *Thread) AcquireSlot() int {
 	if t.nest >= MaxNesting {
-		panic(fmt.Sprintf("locks: thread %d exceeded MaxNesting=%d", t.ID, MaxNesting))
+		panicNestOverflow(t.ID)
 	}
 	n := t.nest
-	t.nest++
+	t.nest = n + 1
 	return n
 }
 
 // ReleaseSlot releases the most recent nesting slot and returns its index.
 func (t *Thread) ReleaseSlot() int {
-	if t.nest == 0 {
-		panic(fmt.Sprintf("locks: thread %d unlocked more than it locked", t.ID))
+	n := t.nest - 1
+	if n < 0 {
+		panicNestUnderflow(t.ID)
 	}
-	t.nest--
-	return t.nest
+	t.nest = n
+	return n
+}
+
+func panicNestOverflow(id int) {
+	panic(fmt.Sprintf("locks: thread %d exceeded MaxNesting=%d", id, MaxNesting))
+}
+
+func panicNestUnderflow(id int) {
+	panic(fmt.Sprintf("locks: thread %d unlocked more than it locked", id))
+}
+
+// NodeBase returns the thread's cached node-base pointer for the node
+// storage identified by key, or nil on a cache miss. Lock
+// implementations call it with their storage's identity (e.g. the CNA
+// arena pointer) and fall back to the two-level index — then SetNodeBase
+// — on a miss, so steady-state acquisitions pay one compare and one add.
+func (t *Thread) NodeBase(key unsafe.Pointer) unsafe.Pointer {
+	if t.nodeKey == key {
+		return t.nodeBase
+	}
+	return nil
+}
+
+// SetNodeBase records the thread's node base for the storage identified
+// by key. A single cache slot suffices: a thread alternating between
+// differently keyed storages merely re-resolves, it never misbehaves.
+func (t *Thread) SetNodeBase(key, base unsafe.Pointer) {
+	t.nodeKey = key
+	t.nodeBase = base
 }
 
 // Depth reports the current nesting depth (for tests).
@@ -99,6 +142,20 @@ type Mutex interface {
 	Unlock(t *Thread)
 	// Name identifies the algorithm in reports, e.g. "MCS" or "CNA".
 	Name() string
+}
+
+// StatsEnabler is implemented by locks whose holder-side statistics are
+// opt-in. Statistics collection defaults to off so the hot paths of a
+// default-built lock perform no counter writes at all (counter stores
+// land on holder-written cache lines and cost real time on the
+// uncontended path); benchmarks and tests that read handover or queue
+// statistics must call EnableStats before first use — most conveniently
+// via the registry's WithStats option.
+type StatsEnabler interface {
+	// EnableStats switches on statistics collection. It must be called
+	// before the lock is shared; enabling concurrently with lock traffic
+	// is a data race.
+	EnableStats()
 }
 
 // HandoverCounter tracks where lock ownership travels, the statistic

@@ -144,6 +144,7 @@ func TestUnlockWithoutLockPanics(t *testing.T) {
 
 func TestMCSHandoverCounter(t *testing.T) {
 	l := NewMCS(4)
+	l.EnableStats()
 	exerciseHandover := func(socket int) {
 		th := NewThread(socket, socket) // id == socket for brevity
 		l.Lock(th)

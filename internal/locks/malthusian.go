@@ -73,7 +73,6 @@ func (l *Malthusian) Lock(t *Thread) {
 	n := &l.nodes[t.ID][t.AcquireSlot()]
 	n.next.Store(nil)
 	n.locked.Store(false)
-	n.socket = t.Socket
 	prev := l.tail.Swap(n)
 	if prev != nil {
 		prev.next.Store(n)

@@ -2,17 +2,32 @@ package locks
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/spinwait"
 )
 
 // mcsNode is a queue node of the MCS lock. Nodes are preallocated per
-// thread and reused across acquisitions.
+// thread and reused across acquisitions. The padding keeps each node on
+// its own cache line so neighbouring threads' spin flags do not
+// false-share.
 type mcsNode struct {
 	next   atomic.Pointer[mcsNode]
 	locked atomic.Bool // set by the predecessor when ownership passes
-	socket int         // recorded at enqueue time, for handover statistics
-	_      [4]uint64   // pad nodes apart to avoid false sharing
+	_      [6]uint64
+}
+
+// mcsNodeBytes is the per-node stride used by the cached-base index path.
+const mcsNodeBytes = unsafe.Sizeof(mcsNode{})
+
+// clearNext resets the queue link with a plain (non-atomic) store. Legal
+// only before the tail Swap publishes the node: until then no other
+// thread holds a reference to it — the previous unlock returned only
+// after (atomically) observing any in-flight successor link. An atomic
+// pointer store would be an XCHG full barrier, a large fraction of the
+// uncontended acquire.
+func (n *mcsNode) clearNext() {
+	*(*unsafe.Pointer)(unsafe.Pointer(&n.next)) = nil
 }
 
 // MCS is the Mellor-Crummey/Scott queue lock: the shared state is a
@@ -20,42 +35,75 @@ type mcsNode struct {
 // flag in their own node. It is the NUMA-oblivious baseline the CNA lock
 // is derived from and measured against.
 type MCS struct {
-	tail  atomic.Pointer[mcsNode]
+	tail atomic.Pointer[mcsNode]
+	// pad the tail onto its own cache line: arriving threads Swap it
+	// continuously and must not invalidate the holder-read fields below.
+	_     [7]uint64
 	nodes [][MaxNesting]mcsNode
-	stats HandoverCounter
+	stats *HandoverCounter // nil until EnableStats: default builds write no counters
 }
 
 // NewMCS returns an MCS lock usable by threads with IDs below maxThreads.
+// Handover statistics are off by default; call EnableStats (or build via
+// the registry with WithStats) before use to collect them.
 func NewMCS(maxThreads int) *MCS {
-	return &MCS{
-		nodes: make([][MaxNesting]mcsNode, maxThreads),
-		stats: NewHandoverCounter(),
+	return &MCS{nodes: make([][MaxNesting]mcsNode, maxThreads)}
+}
+
+// EnableStats implements StatsEnabler. Call before the lock is shared.
+func (l *MCS) EnableStats() {
+	if l.stats == nil {
+		h := NewHandoverCounter()
+		l.stats = &h
 	}
+}
+
+// node returns the thread's queue node for the given nesting slot,
+// indexing from a per-thread cached base pointer (one add) instead of a
+// two-level slice walk.
+func (l *MCS) node(t *Thread, slot int) *mcsNode {
+	key := unsafe.Pointer(&l.nodes[0])
+	base := t.NodeBase(key)
+	if base == nil {
+		base = unsafe.Pointer(&l.nodes[t.ID])
+		t.SetNodeBase(key, base)
+	}
+	return (*mcsNode)(unsafe.Add(base, uintptr(slot)*mcsNodeBytes))
 }
 
 // Lock enqueues t and waits until it reaches the head of the queue.
 func (l *MCS) Lock(t *Thread) {
-	n := &l.nodes[t.ID][t.AcquireSlot()]
-	n.next.Store(nil)
-	n.locked.Store(false)
-	n.socket = t.Socket
+	n := l.node(t, t.AcquireSlot())
+	n.clearNext()
 
 	prev := l.tail.Swap(n)
 	if prev == nil {
-		l.stats.Record(t.Socket)
+		// Uncontended: n.locked stays stale — it is cleared below before
+		// the node next becomes visible to a predecessor, and the unlock
+		// path never reads it.
+		if st := l.stats; st != nil {
+			st.Record(t.Socket)
+		}
 		return
 	}
+	// Contended: the predecessor can only reach this node through the
+	// next link published below, so clearing the spin flag here (rather
+	// than before the tail swap) keeps the uncontended path one store
+	// shorter without racing the handover.
+	n.locked.Store(false)
 	prev.next.Store(n)
 	var s spinwait.Spinner
 	for !n.locked.Load() {
 		s.Pause()
 	}
-	l.stats.Record(t.Socket)
+	if st := l.stats; st != nil {
+		st.Record(t.Socket)
+	}
 }
 
 // Unlock passes the lock to t's successor, or empties the queue.
 func (l *MCS) Unlock(t *Thread) {
-	n := &l.nodes[t.ID][t.ReleaseSlot()]
+	n := l.node(t, t.ReleaseSlot())
 	next := n.next.Load()
 	if next == nil {
 		// No linked successor. If the tail is still us, the queue is
@@ -76,5 +124,11 @@ func (l *MCS) Unlock(t *Thread) {
 func (l *MCS) Name() string { return "MCS" }
 
 // Handovers exposes the lock's local/remote handover counts. Read it only
-// while the lock is idle.
-func (l *MCS) Handovers() *HandoverCounter { return &l.stats }
+// while the lock is idle; without EnableStats it reports zeros.
+func (l *MCS) Handovers() *HandoverCounter {
+	if l.stats == nil {
+		h := NewHandoverCounter()
+		return &h
+	}
+	return l.stats
+}

@@ -10,6 +10,7 @@ import (
 
 func TestRunProducesOps(t *testing.T) {
 	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyCNA)
+	d.EnableStats()
 	res := Run(d, DefaultConfig(4, 40*time.Millisecond))
 	if res.TotalOps == 0 {
 		t.Fatal("no lock operations recorded")
@@ -31,6 +32,7 @@ func TestRunProducesOps(t *testing.T) {
 
 func TestRunStockPolicy(t *testing.T) {
 	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyStock)
+	d.EnableStats()
 	res := Run(d, DefaultConfig(4, 40*time.Millisecond))
 	if res.TotalOps == 0 {
 		t.Fatal("no ops under stock policy")
@@ -39,6 +41,7 @@ func TestRunStockPolicy(t *testing.T) {
 
 func TestLockstatMode(t *testing.T) {
 	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyCNA)
+	d.EnableStats()
 	cfg := DefaultConfig(4, 40*time.Millisecond)
 	cfg.Lockstat = true
 	res := Run(d, cfg)
@@ -49,6 +52,7 @@ func TestLockstatMode(t *testing.T) {
 
 func TestConfigNormalisation(t *testing.T) {
 	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyStock)
+	d.EnableStats()
 	res := Run(d, Config{Writers: 0, Duration: 0})
 	if res.TotalOps == 0 {
 		t.Fatal("normalised config produced no ops")
@@ -60,6 +64,7 @@ func TestConfigNormalisation(t *testing.T) {
 
 func TestSingleWriterUncontended(t *testing.T) {
 	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyCNA)
+	d.EnableStats()
 	res := Run(d, DefaultConfig(1, 30*time.Millisecond))
 	if res.Fairness != 0.5 {
 		t.Fatalf("single-writer fairness %v, want 0.5", res.Fairness)

@@ -113,7 +113,9 @@ type qnode struct {
 
 // Stats aggregates slow-path behaviour across all locks of a domain.
 // Counters are updated with atomics because different locks' holders run
-// concurrently.
+// concurrently. Collection is opt-in via EnableStats; a default-built
+// domain performs no counter writes (an atomic add per acquisition is a
+// measurable fraction of the uncontended fast path).
 type Stats struct {
 	FastPath       atomic.Uint64 // acquisitions via the 0→1 CAS
 	PendingPath    atomic.Uint64 // acquisitions via the pending bit
@@ -135,7 +137,7 @@ type Domain struct {
 	rng    []prng.Xoroshiro
 	// keepLocalMask is CNA's THRESHOLD (0xffff in the paper).
 	keepLocalMask uint64
-	stats         Stats
+	stats         *Stats // nil until EnableStats: default builds write no counters
 }
 
 // NewDomain builds a Domain for the given topology and slow-path policy.
@@ -165,8 +167,22 @@ func (d *Domain) SetKeepLocalMask(mask uint64) { d.keepLocalMask = mask }
 // Policy returns the domain's slow-path policy.
 func (d *Domain) Policy() Policy { return d.policy }
 
-// Stats returns the domain's counters.
-func (d *Domain) Stats() *Stats { return &d.stats }
+// EnableStats switches on acquisition-path counters. Call before the
+// domain is shared.
+func (d *Domain) EnableStats() {
+	if d.stats == nil {
+		d.stats = &Stats{}
+	}
+}
+
+// Stats returns the domain's counters. Without EnableStats the returned
+// snapshot is all zeros.
+func (d *Domain) Stats() *Stats {
+	if d.stats == nil {
+		return &Stats{}
+	}
+	return d.stats
+}
 
 // NumCPUs returns the number of CPUs the domain was built for.
 func (d *Domain) NumCPUs() int { return len(d.nodes) }
@@ -187,7 +203,9 @@ func (d *Domain) decode(enc uint32) *qnode {
 // Lock acquires l on behalf of the given (virtual) CPU.
 func (d *Domain) Lock(l *SpinLock, cpu int) {
 	if l.val.CompareAndSwap(0, lockedVal) {
-		d.stats.FastPath.Add(1)
+		if st := d.stats; st != nil {
+			st.FastPath.Add(1)
+		}
 		return
 	}
 	d.slowPath(l, cpu)
@@ -202,7 +220,9 @@ func (d *Domain) slowPath(l *SpinLock, cpu int) {
 		val := l.val.Load()
 		if val == 0 {
 			if l.val.CompareAndSwap(0, lockedVal) {
-				d.stats.FastPath.Add(1)
+				if st := d.stats; st != nil {
+					st.FastPath.Add(1)
+				}
 				return
 			}
 			continue
@@ -218,7 +238,9 @@ func (d *Domain) slowPath(l *SpinLock, cpu int) {
 			// Take the lock: set locked, clear pending (add 1-256, which
 			// wraps to the right delta in uint32 arithmetic).
 			l.val.Add(lockedVal + ^pendingBit + 1)
-			d.stats.PendingPath.Add(1)
+			if st := d.stats; st != nil {
+				st.PendingPath.Add(1)
+			}
 			return
 		}
 	}
@@ -267,7 +289,9 @@ func (d *Domain) queue(l *SpinLock, cpu int) {
 	// If we are also the queue tail, try to leave no trace behind.
 	if d.tryClearTail(l, node) {
 		d.count[cpu]--
-		d.stats.SlowPath.Add(1)
+		if st := d.stats; st != nil {
+			st.SlowPath.Add(1)
+		}
 		return
 	}
 
@@ -282,7 +306,9 @@ func (d *Domain) queue(l *SpinLock, cpu int) {
 	}
 	d.promote(node, next, cpu)
 	d.count[cpu]--
-	d.stats.SlowPath.Add(1)
+	if st := d.stats; st != nil {
+		st.SlowPath.Add(1)
+	}
 }
 
 // xchgTail atomically replaces the tail bits with enc, preserving the
@@ -314,7 +340,9 @@ func (d *Domain) tryClearTail(l *SpinLock, node *qnode) bool {
 	secHead := d.decode(sp)
 	secTail := secHead.secTail.Load()
 	if l.val.CompareAndSwap(val, lockedVal|secTail.enc<<tailShift) {
-		d.stats.Flushes.Add(1)
+		if st := d.stats; st != nil {
+			st.Flushes.Add(1)
+		}
 		d.recordHandover(node, secHead)
 		secHead.spin.Store(1)
 		return true
@@ -325,28 +353,32 @@ func (d *Domain) tryClearTail(l *SpinLock, node *qnode) bool {
 // promote makes the next waiter the new queue head. Stock policy simply
 // wakes the linked successor; CNA picks a same-socket waiter, shuffling
 // skipped nodes onto the secondary queue, with the paper's probabilistic
-// fairness flush.
+// fairness flush. The holder's spin word is loaded once — only the
+// holder writes it, so the local copy (updated by findSuccessor when a
+// moved run starts a fresh secondary queue) stays authoritative.
 func (d *Domain) promote(node, next *qnode, cpu int) {
 	if d.policy == PolicyStock {
 		next.spin.Store(1)
 		return
 	}
 
+	sp := node.spin.Load()
 	var succ *qnode
 	if d.keepLockLocal(cpu) {
-		succ = d.findSuccessor(node, cpu)
+		succ, sp = d.findSuccessor(node, next, sp, cpu)
 	}
-	sp := node.spin.Load()
 	switch {
 	case succ != nil:
 		d.recordHandover(node, succ)
-		succ.spin.Store(node.spin.Load()) // forwards 1 or the secondary head
+		succ.spin.Store(sp) // forwards 1 or the secondary head's encoding
 	case sp > 1:
 		// Fairness (or no same-socket waiter): splice the secondary queue
 		// in front of the main-queue successor and promote its head.
 		secHead := d.decode(sp)
-		secHead.secTail.Load().next.Store(node.next.Load())
-		d.stats.Flushes.Add(1)
+		secHead.secTail.Load().next.Store(next)
+		if st := d.stats; st != nil {
+			st.Flushes.Add(1)
+		}
 		d.recordHandover(node, secHead)
 		secHead.spin.Store(1)
 	default:
@@ -360,14 +392,18 @@ func (d *Domain) keepLockLocal(cpu int) bool {
 	return d.rng[cpu].Next()&d.keepLocalMask != 0
 }
 
-// findSuccessor scans the main queue for a waiter on this CPU's socket,
-// moving skipped waiters to the secondary queue (Figure 5 of the paper,
-// with tail encodings in place of pointers).
-func (d *Domain) findSuccessor(node *qnode, cpu int) *qnode {
-	next := node.next.Load()
+// findSuccessor scans the main queue (starting at next, the holder's
+// already-loaded successor) for a waiter on this CPU's socket, moving
+// skipped waiters to the secondary queue (Figure 5 of the paper, with
+// tail encodings in place of pointers). sp is the holder's current spin
+// value; the possibly updated value is returned alongside the successor
+// so the caller never re-reads the spin word, and the holder's own spin
+// word is not rewritten — ownership of the secondary queue travels to
+// the successor via the returned value.
+func (d *Domain) findSuccessor(node, next *qnode, sp uint32, cpu int) (*qnode, uint32) {
 	mySocket := d.socket[cpu]
 	if next.socket == mySocket {
-		return next
+		return next, sp
 	}
 	secHead := next
 	secTail := next
@@ -375,28 +411,35 @@ func (d *Domain) findSuccessor(node *qnode, cpu int) *qnode {
 	moved := uint64(1)
 	for cur != nil {
 		if cur.socket == mySocket {
-			if sp := node.spin.Load(); sp > 1 {
+			if sp > 1 {
 				d.decode(sp).secTail.Load().next.Store(secHead)
 			} else {
-				node.spin.Store(secHead.enc)
+				sp = secHead.enc
 			}
 			secTail.next.Store(nil)
-			d.decode(node.spin.Load()).secTail.Store(secTail)
-			d.stats.SecondaryMoves.Add(moved)
-			return cur
+			d.decode(sp).secTail.Store(secTail)
+			if st := d.stats; st != nil {
+				st.SecondaryMoves.Add(moved)
+			}
+			return cur, sp
 		}
 		secTail = cur
 		moved++
 		cur = cur.next.Load()
 	}
-	return nil
+	return nil, sp
 }
 
 // recordHandover classifies a queue-head promotion as local or remote.
+// A no-op unless EnableStats was called.
 func (d *Domain) recordHandover(from, to *qnode) {
+	st := d.stats
+	if st == nil {
+		return
+	}
 	if from.socket == to.socket {
-		d.stats.LocalHandover.Add(1)
+		st.LocalHandover.Add(1)
 	} else {
-		d.stats.RemoteHandover.Add(1)
+		st.RemoteHandover.Add(1)
 	}
 }

@@ -20,6 +20,7 @@ func TestLockIsFourBytes(t *testing.T) {
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	d := NewDomain(numa.TwoSocketXeonE5(), PolicyStock)
+	d.EnableStats()
 	for cpu := 0; cpu < d.NumCPUs(); cpu++ {
 		for idx := 0; idx < maxNesting; idx++ {
 			enc := encode(cpu, idx)
@@ -49,6 +50,7 @@ func TestEncodeUniqueProperty(t *testing.T) {
 
 func TestFastPath(t *testing.T) {
 	d := NewDomain(numa.TwoSocketXeonE5(), PolicyStock)
+	d.EnableStats()
 	var l SpinLock
 	d.Lock(&l, 0)
 	if !l.IsLocked() {
@@ -80,6 +82,7 @@ func TestTryLock(t *testing.T) {
 
 func TestPendingPath(t *testing.T) {
 	d := NewDomain(numa.TwoSocketXeonE5(), PolicyStock)
+	d.EnableStats()
 	var l SpinLock
 	d.Lock(&l, 0)
 	done := make(chan struct{})
@@ -104,6 +107,7 @@ func TestPendingPath(t *testing.T) {
 func hammer(t *testing.T, policy Policy, topo numa.Topology, cpus, iters int) *Domain {
 	t.Helper()
 	d := NewDomain(topo, policy)
+	d.EnableStats()
 	var l SpinLock
 	var counter int
 	var wg sync.WaitGroup
@@ -145,6 +149,7 @@ func TestSlowPathExercised(t *testing.T) {
 	// holder (on a single-core host contention windows are otherwise too
 	// narrow to reach the queue).
 	d := NewDomain(numa.TwoSocketXeonE5(), PolicyCNA)
+	d.EnableStats()
 	var l SpinLock
 	var counter int
 	var wg sync.WaitGroup
@@ -175,6 +180,7 @@ func TestNestedLocks(t *testing.T) {
 		policy := policy
 		t.Run(policy.String(), func(t *testing.T) {
 			d := NewDomain(numa.TwoSocketXeonE5(), policy)
+			d.EnableStats()
 			var a, b SpinLock
 			var counter int
 			var wg sync.WaitGroup
@@ -203,6 +209,7 @@ func TestManyLocksShareDomain(t *testing.T) {
 	// The kernel has one per-CPU node array for millions of spinlocks; a
 	// Domain works the same way.
 	d := NewDomain(numa.TwoSocketXeonE5(), PolicyCNA)
+	d.EnableStats()
 	ls := make([]SpinLock, 256)
 	var wg sync.WaitGroup
 	counters := make([]int, len(ls))
@@ -233,6 +240,7 @@ func TestManyLocksShareDomain(t *testing.T) {
 
 func TestCNAFairnessMaskZeroKeepsFIFO(t *testing.T) {
 	d := NewDomain(numa.TwoSocketXeonE5(), PolicyCNA)
+	d.EnableStats()
 	d.SetKeepLocalMask(0)
 	var l SpinLock
 	var counter int
@@ -275,6 +283,7 @@ func TestCNALocalityBeatsStock(t *testing.T) {
 
 func TestNestingOverflowPanics(t *testing.T) {
 	d := NewDomain(numa.TwoSocketXeonE5(), PolicyStock)
+	d.EnableStats()
 	ls := make([]SpinLock, maxNesting+1)
 	// Force every acquisition onto the queue path by pre-setting tails is
 	// complex; instead simulate the nesting counter directly.
@@ -304,6 +313,7 @@ func TestQSpinProperty(t *testing.T) {
 			policy = PolicyCNA
 		}
 		d := NewDomain(numa.TwoSocketXeonE5(), policy)
+		d.EnableStats()
 		var l SpinLock
 		var counter int
 		var wg sync.WaitGroup
@@ -328,6 +338,7 @@ func TestQSpinProperty(t *testing.T) {
 
 func BenchmarkQSpinUncontendedStock(b *testing.B) {
 	d := NewDomain(numa.TwoSocketXeonE5(), PolicyStock)
+	d.EnableStats()
 	var l SpinLock
 	for i := 0; i < b.N; i++ {
 		d.Lock(&l, 0)
@@ -337,6 +348,7 @@ func BenchmarkQSpinUncontendedStock(b *testing.B) {
 
 func BenchmarkQSpinUncontendedCNA(b *testing.B) {
 	d := NewDomain(numa.TwoSocketXeonE5(), PolicyCNA)
+	d.EnableStats()
 	var l SpinLock
 	for i := 0; i < b.N; i++ {
 		d.Lock(&l, 0)

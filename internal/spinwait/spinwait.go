@@ -4,65 +4,103 @@
 // x86 that is the PAUSE instruction, a hint that the core is spinning.
 // Go offers no portable PAUSE, and more importantly this reproduction must
 // remain live on GOMAXPROCS=1: a waiter that never yields would deadlock
-// against the very goroutine that will release the lock. Pause therefore
-// spins briefly and then yields to the scheduler, which is also the
-// behaviour a well-mannered user-space lock library wants on an
-// oversubscribed machine (the paper runs up to 70 threads on 72 CPUs for
-// the same reason).
+// against the very goroutine that will release the lock.
+//
+// Spinner is therefore a three-phase adaptive waiter:
+//
+//  1. a short burst of busy work per call, betting the awaited store is
+//     nanoseconds away (a short-held lock handed over without a scheduler
+//     round trip);
+//  2. exponentially lengthening bursts, amortising the per-call overhead
+//     while the wait is still plausibly short;
+//  3. a scheduler yield on every call, which is what a well-mannered
+//     user-space lock wants on an oversubscribed machine (the paper runs
+//     up to 70 threads on 72 CPUs for the same reason) and what keeps a
+//     single-core host live: phases 1 and 2 are bounded, so every waiter
+//     reaches the yielding phase after a fixed amount of busy work.
+//
+// Earlier revisions burned a modulo and an opaque function call on every
+// spin iteration; the phase schedule needs only a counter compare and a
+// shift, so the common spin iteration is branch-predictable straight-line
+// code.
 package spinwait
 
 import "runtime"
 
-// spinsBeforeYield bounds the number of busy iterations between yields.
-// Small enough that a single-core host makes progress promptly, large
-// enough that on a multi-core host a short-held lock is picked up without
-// a scheduler round trip.
-const spinsBeforeYield = 16
+// The phase schedule. Phase 1 is tightSpins calls of tightBurst work
+// units each; phase 2 is burstSpins calls whose bursts double from
+// 2*tightBurst up to tightBurst<<burstSpins; phase 3 yields on every
+// call. The totals are small (4·8 + 16+32+64+128 = 272 units of busy
+// work, well under a microsecond) so a waiter on a one-core host starts
+// yielding almost immediately, while a waiter on an idle multi-core host
+// picks up a short-held lock without a scheduler round trip.
+const (
+	tightSpins = 4 // phase-1 calls, one tight burst each
+	tightBurst = 8 // busy-work units per phase-1 call
+	burstSpins = 4 // phase-2 calls, exponentially lengthening
+)
 
-// Spinner is a per-waiter spin state. The zero value is ready to use.
+// Spinner is a per-waiter adaptive spin state. The zero value is ready to
+// use and starts in the cheap phase.
 type Spinner struct {
-	n uint
+	calls uint32
+	sink  uint32 // defeats dead-code elimination of the busy work
 }
 
-// Pause performs one polite busy-wait step: a handful of no-op iterations,
-// then a scheduler yield. It is the CPU_PAUSE of the paper's pseudo-code.
+// Pause performs one polite busy-wait step following the three-phase
+// schedule. It is the CPU_PAUSE of the paper's pseudo-code.
 func (s *Spinner) Pause() {
-	s.n++
-	if s.n%spinsBeforeYield == 0 {
-		runtime.Gosched()
+	c := s.calls
+	s.calls = c + 1
+	if c < tightSpins+burstSpins {
+		// Phases 1 and 2: burstFor is a compare-free shift, so the hot
+		// spin iteration carries no modulo and a single predictable branch.
+		s.sink += procyield(burstFor(c))
 		return
 	}
-	procyield()
-}
-
-// Reset clears the spin counter, typically called after the awaited
-// condition fires so the next wait starts in the cheap phase.
-func (s *Spinner) Reset() { s.n = 0 }
-
-// Pause is a stateless polite pause for call sites without a Spinner.
-// It always yields, making it safe in unbounded loops on one core.
-func Pause() {
 	runtime.Gosched()
 }
 
-// procyield burns a few cycles without touching memory. //go:noinline
-// keeps the call opaque so the loop cannot be deleted at call sites; no
-// shared sink is involved, so concurrent spinners stay race-free.
-//
-//go:noinline
-func procyield() uint64 {
-	x := uint64(1)
-	for i := 0; i < 4; i++ {
-		x = x*2862933555777941757 + 3037000493
+// Yielding reports whether the spinner has reached the yield-every-call
+// phase (it has burned through its busy-wait budget).
+func (s *Spinner) Yielding() bool { return s.calls >= tightSpins+burstSpins }
+
+// Reset clears the spin state, typically called after the awaited
+// condition fires so the next wait starts in the cheap phase again.
+func (s *Spinner) Reset() { s.calls = 0 }
+
+// burstFor maps a phase-1/2 call number to its busy-work burst length:
+// tightBurst for the first tightSpins calls, then doubling. The max
+// compiles to a conditional move, not a branch.
+func burstFor(c uint32) uint32 {
+	return tightBurst << max(int32(c)-tightSpins+1, 0)
+}
+
+// procyield burns approximately n units of register-only work without
+// touching shared memory — the portable stand-in for n PAUSE
+// instructions. Callers accumulate the result into a per-waiter sink so
+// the loop cannot be eliminated; no shared sink is involved, so
+// concurrent spinners stay race-free.
+func procyield(n uint32) uint32 {
+	x := uint32(2463534242)
+	for ; n > 0; n-- {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
 	}
 	return x
 }
 
 // Backoff implements capped exponential backoff, used by the test-and-set
-// and HBO baselines. The zero value is invalid; use NewBackoff.
+// and HBO baselines. Waiting is delegated to an embedded adaptive
+// Spinner, so short backoffs burn cheap busy work instead of forcing a
+// scheduler round trip per unit, while long backoffs (and one-core
+// hosts) still yield on every unit once the spinner's busy budget is
+// spent. The zero value is invalid; use NewBackoff.
 type Backoff struct {
 	cur, min, max uint
 	rngState      uint64
+	s             Spinner
 }
 
 // NewBackoff returns a Backoff that waits between min and max pause units,
@@ -86,7 +124,7 @@ func (b *Backoff) Wait() {
 	b.rngState ^= b.rngState << 17
 	units := 1 + b.rngState%uint64(b.cur)
 	for i := uint64(0); i < units; i++ {
-		runtime.Gosched()
+		b.s.Pause()
 	}
 	if b.cur < b.max {
 		b.cur *= 2
@@ -96,9 +134,13 @@ func (b *Backoff) Wait() {
 	}
 }
 
-// Reset returns the backoff to its minimum duration, typically called
-// after a successful acquisition.
-func (b *Backoff) Reset() { b.cur = b.min }
+// Reset returns the backoff to its minimum duration and the embedded
+// spinner to its cheap phase, typically called after a successful
+// acquisition.
+func (b *Backoff) Reset() {
+	b.cur = b.min
+	b.s.Reset()
+}
 
 // Cur reports the current backoff bound in pause units (for tests).
 func (b *Backoff) Cur() uint { return b.cur }

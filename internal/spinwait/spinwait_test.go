@@ -8,7 +8,8 @@ import (
 
 func TestSpinnerMakesProgressOnOneCore(t *testing.T) {
 	// A waiter spinning with Pause must observe a flag set by another
-	// goroutine even when GOMAXPROCS=1, because Pause yields.
+	// goroutine even when GOMAXPROCS=1, because the spinner's busy phases
+	// are bounded and phase 3 yields on every call.
 	var flag atomic.Bool
 	done := make(chan struct{})
 	go func() {
@@ -26,26 +27,59 @@ func TestSpinnerMakesProgressOnOneCore(t *testing.T) {
 	<-done
 }
 
+func TestSpinnerPhaseSchedule(t *testing.T) {
+	// The busy budget is exactly tightSpins+burstSpins calls; after that
+	// every Pause must yield (the property single-core liveness rests on).
+	var s Spinner
+	for i := 0; i < tightSpins+burstSpins; i++ {
+		if s.Yielding() {
+			t.Fatalf("call %d: yielding before the busy budget is spent", i)
+		}
+		s.Pause()
+	}
+	if !s.Yielding() {
+		t.Fatal("busy budget spent but spinner not in the yield phase")
+	}
+	for i := 0; i < 100; i++ {
+		s.Pause() // must stay in the yield phase
+	}
+	if !s.Yielding() {
+		t.Fatal("spinner left the yield phase without Reset")
+	}
+}
+
+func TestBurstScheduleMonotonic(t *testing.T) {
+	// Phase 1 bursts are flat at tightBurst; phase 2 doubles per call.
+	prev := uint32(0)
+	for c := uint32(0); c < tightSpins+burstSpins; c++ {
+		b := burstFor(c)
+		if c < tightSpins && b != tightBurst {
+			t.Fatalf("call %d: burst %d, want tight burst %d", c, b, tightBurst)
+		}
+		if b < prev {
+			t.Fatalf("call %d: burst %d shrank from %d", c, b, prev)
+		}
+		if c >= tightSpins && b != 2*prev {
+			t.Fatalf("call %d: burst %d, want doubling from %d", c, b, prev)
+		}
+		prev = b
+	}
+	if got := burstFor(tightSpins + burstSpins - 1); got != tightBurst<<burstSpins {
+		t.Fatalf("final burst %d, want %d", got, tightBurst<<burstSpins)
+	}
+}
+
 func TestSpinnerReset(t *testing.T) {
 	var s Spinner
 	for i := 0; i < 100; i++ {
 		s.Pause()
 	}
 	s.Reset()
-	if s.n != 0 {
-		t.Fatalf("after Reset, n = %d, want 0", s.n)
+	if s.calls != 0 {
+		t.Fatalf("after Reset, calls = %d, want 0", s.calls)
 	}
-}
-
-func TestStatelessPauseYields(t *testing.T) {
-	var flag atomic.Bool
-	go flag.Store(true)
-	deadline := time.Now().Add(5 * time.Second)
-	for !flag.Load() {
-		if time.Now().After(deadline) {
-			t.Fatal("Pause() did not yield")
-		}
-		Pause()
+	if s.Yielding() {
+		t.Fatal("after Reset, spinner still in the yield phase")
 	}
 }
 
@@ -69,6 +103,25 @@ func TestBackoffReset(t *testing.T) {
 	if b.Cur() != 2 {
 		t.Fatalf("after Reset, Cur() = %d, want 2", b.Cur())
 	}
+	if b.s.Yielding() {
+		t.Fatal("Reset did not return the embedded spinner to the cheap phase")
+	}
+}
+
+func TestBackoffRemainsLiveOnOneCore(t *testing.T) {
+	// A backoff loop must not starve the goroutine it is waiting on: the
+	// embedded spinner's busy budget is bounded, after which every unit
+	// yields.
+	var flag atomic.Bool
+	go flag.Store(true)
+	b := NewBackoff(1, 8, 42)
+	deadline := time.Now().Add(5 * time.Second)
+	for !flag.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("backoff waiter starved the flag-setting goroutine")
+		}
+		b.Wait()
+	}
 }
 
 func TestBackoffZeroMinNormalised(t *testing.T) {
@@ -90,8 +143,21 @@ func TestBackoffMaxBelowMinNormalised(t *testing.T) {
 	}
 }
 
-func BenchmarkPause(b *testing.B) {
+func BenchmarkPauseBusyPhase(b *testing.B) {
 	var s Spinner
+	for i := 0; i < b.N; i++ {
+		s.Pause()
+		if s.Yielding() {
+			s.Reset() // stay in the busy phases: measures the spin iteration
+		}
+	}
+}
+
+func BenchmarkPauseYieldPhase(b *testing.B) {
+	var s Spinner
+	for i := 0; i < tightSpins+burstSpins; i++ {
+		s.Pause()
+	}
 	for i := 0; i < b.N; i++ {
 		s.Pause()
 	}

@@ -14,6 +14,7 @@ func TestAllBenchesBothPolicies(t *testing.T) {
 			bench, policy := bench, policy
 			t.Run(string(bench)+"/"+policy.String(), func(t *testing.T) {
 				d := qspin.NewDomain(numa.TwoSocketXeonE5(), policy)
+				d.EnableStats()
 				res, err := Run(bench, d, 4, 30*time.Millisecond)
 				if err != nil {
 					t.Fatal(err)
@@ -31,6 +32,7 @@ func TestAllBenchesBothPolicies(t *testing.T) {
 
 func TestRunNormalisesArgs(t *testing.T) {
 	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyStock)
+	d.EnableStats()
 	res, err := Run(Open2, d, 0, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -42,6 +44,7 @@ func TestRunNormalisesArgs(t *testing.T) {
 
 func TestUnknownBench(t *testing.T) {
 	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyStock)
+	d.EnableStats()
 	if _, err := Run(Bench("bogus"), d, 1, time.Millisecond); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
@@ -49,6 +52,7 @@ func TestUnknownBench(t *testing.T) {
 
 func TestPerThreadOpsSum(t *testing.T) {
 	d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyCNA)
+	d.EnableStats()
 	res, err := Run(Lock1, d, 3, 25*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +74,7 @@ func TestLock2SharedFileContention(t *testing.T) {
 	// retry with longer windows before declaring failure.
 	for _, dur := range []time.Duration{40, 160, 640} {
 		d := qspin.NewDomain(numa.TwoSocketXeonE5(), qspin.PolicyCNA)
+		d.EnableStats()
 		if _, err := Run(Lock2, d, 6, dur*time.Millisecond); err != nil {
 			t.Fatal(err)
 		}

@@ -23,7 +23,10 @@
 //	lock := repro.MustBuild("CNA", env, repro.WithThreshold(0x3ff))
 //
 // The CNA-specific constructors (NewCNA, NewArena) remain for callers
-// that want the concrete *CNA type, e.g. to read Stats().
+// that want the concrete *CNA type, e.g. to read Stats(). Statistics
+// collection is opt-in — build with WithStats(true) (or call
+// EnableStats) before sharing a lock whose counters you intend to read;
+// default-built locks write no counters on any path.
 //
 // See examples/ for runnable programs and cmd/reproduce for the paper's
 // evaluation.
@@ -117,6 +120,13 @@ func WithSlots(n int) BuildOption { return lockreg.WithSlots(n) }
 
 // WithMinActive sets MCSCR's floor on circulating threads.
 func WithMinActive(n int) BuildOption { return lockreg.WithMinActive(n) }
+
+// WithStats toggles holder-side statistics collection (handover
+// locality, secondary-queue traffic). Statistics default to off so a
+// default-built lock's hot paths perform no counter writes; pass
+// WithStats(true) before sharing the lock when you intend to read
+// Stats()/Handovers().
+func WithStats(on bool) BuildOption { return lockreg.WithStats(on) }
 
 // ---- CNA concrete types (for callers that need Stats or arenas) ----
 
