@@ -1,15 +1,19 @@
 // benchjson is the perf-regression pipeline's measurement step: it runs
-// the two real-lock sweeps whose wall-clock numbers are meaningful on
-// any host — uncontended acquire/release latency (the single-thread row
-// of the paper's Figure 6) and contended handover throughput — over
-// every registered lock algorithm, and writes the results as a
-// machine-readable JSON report.
+// the real-lock sweeps whose wall-clock numbers are meaningful on any
+// host — uncontended acquire/release latency (the single-thread row of
+// the paper's Figure 6) and a contended sweep of every registered lock
+// across a thread ladder and every registered workload (the shared-
+// counter spin loop plus the kernel-sim lockref/dcache/files/posixlock
+// drivers) — and writes the results as a machine-readable JSON report
+// with per-op latency percentiles.
 //
 // The checked-in BENCH_locks.json at the repository root is the output
 // of a full run (go run ./cmd/benchjson), giving the repository a
-// trajectory of numbers over time; CI runs the -short variant on every
-// PR and archives the report as an artifact, so hot-path regressions
-// show up next to the diff that caused them.
+// trajectory of numbers over time; BENCHMARKS.md is the human-readable
+// rendering of the same report (go run ./cmd/benchjson -md). CI runs
+// the -short variant on every PR, archives the report as an artifact,
+// and re-renders BENCHMARKS.md from the checked-in JSON (-render) to
+// fail the build when the two drift apart.
 //
 // Locks are built through the registry with default options — in
 // particular with statistics collection OFF, so the sweep measures
@@ -20,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -34,59 +40,101 @@ func main() {
 	var (
 		out      = flag.String("out", "BENCH_locks.json", "output file for the JSON report")
 		lockList = flag.String("locks", "all", "comma-separated lock names (see README), or 'all'")
-		threads  = flag.String("threads", "", "comma-separated contended thread counts (default 2,4)")
+		wlList   = flag.String("workloads", "all", "comma-separated contended workload names, or 'all'")
+		threads  = flag.String("threads", "", "comma-separated contended thread counts (default: the 1,2,4,8 ladder plus socket count and GOMAXPROCS)")
 		short    = flag.Bool("short", false, "smoke mode for CI: ~4x shorter measurement windows and fewer repeats (noisier numbers)")
+		md       = flag.Bool("md", false, "also render the report as markdown (see -mdout)")
+		mdOut    = flag.String("mdout", "BENCHMARKS.md", "output file for the markdown rendering")
+		render   = flag.Bool("render", false, "skip measurement: re-render -mdout from the existing -out JSON (implies -md)")
 	)
 	flag.Parse()
+
+	if *render {
+		report, err := readReportFile(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := writeMarkdownFile(*mdOut, report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("rendered %s from %s\n", *mdOut, *out)
+		return
+	}
 
 	specs, err := lockreg.Resolve(*lockList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	counts, err := parseCounts(*threads)
+	workloads, err := lockreg.ResolveWorkloads(*wlList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	env := lockreg.Env{Topology: numa.TwoSocketXeonE5()}
+	counts, err := parseCounts(*threads, env.Sockets(), env.Topology.NumCPUs())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	env.MaxThreads = counts[len(counts)-1]
 
 	// Durations: long enough for a stable average on a quiet host, short
 	// enough that the CI smoke run stays in seconds.
 	latencyBudget := 100 * time.Millisecond
-	contendedDur := 80 * time.Millisecond
+	contendedDur := 50 * time.Millisecond
 	repeats := 3
 	if *short {
 		latencyBudget = 20 * time.Millisecond
-		contendedDur = 20 * time.Millisecond
+		contendedDur = 10 * time.Millisecond
 		repeats = 2
 	}
 
+	// Baseline for the regression diff: the previous checked-in report,
+	// read before it is overwritten. Best-effort — a missing or
+	// unreadable file just means no diff — and only like-for-like: a
+	// smoke run diffed against a full-sweep baseline (or vice versa)
+	// would flag systematic duration-dependent movement, not
+	// regressions.
+	var prevResults []harness.Result
+	if prev, err := readReportFile(*out); err == nil && prev.Short == *short {
+		prevResults = prev.Results
+	}
+
 	var results []harness.Result
-	env := lockreg.Env{MaxThreads: maxInt(counts), Topology: numa.TwoSocketXeonE5()}
 
 	// Sweep 1: uncontended acquire/release latency, one thread.
 	for _, spec := range specs {
-		r := uncontendedLatency(spec, env, latencyBudget)
-		results = append(results, r)
+		results = append(results, uncontendedLatency(spec, env, latencyBudget))
 	}
 
-	// Sweep 2: contended handover throughput over a shared counter.
-	for _, spec := range specs {
-		for _, n := range counts {
-			spec := spec
-			r := harness.Run(harness.Config{
-				Name:     fmt.Sprintf("contended/t%d/%s", n, spec.Name),
-				Topo:     env.Topology,
-				Threads:  n,
-				Duration: contendedDur,
-				Repeats:  repeats,
-			}, counterWorkload(spec, env))
-			r.Lock = spec.Name
-			results = append(results, r)
+	// Sweep 2: every workload × every lock × the thread ladder, with
+	// per-op latency sampling feeding the percentile columns.
+	for _, wl := range workloads {
+		for _, spec := range specs {
+			for _, n := range counts {
+				r := harness.Run(harness.Config{
+					Name:         fmt.Sprintf("contended/%s/t%d/%s", wl.Name, n, spec.Name),
+					Topo:         env.Topology,
+					Threads:      n,
+					Duration:     contendedDur,
+					Repeats:      repeats,
+					SamplePeriod: 64,
+				}, wl.Make(spec, env))
+				r.Lock = spec.Name
+				r.Workload = wl.Name
+				results = append(results, r)
+			}
 		}
 	}
 
 	report := harness.NewReport(*short, results)
+	// Reporting threshold 10%: contended numbers on shared hosts are
+	// noisy; the diff flags movements worth a look, it is not a gate.
+	report.Regressions = harness.CompareResults(prevResults, results, 0.10)
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -100,8 +148,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *md {
+		if err := writeMarkdownFile(*mdOut, report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	fmt.Print(harness.FormatResults(results))
-	fmt.Printf("\nwrote %d results to %s\n", len(results), *out)
+	fmt.Printf("\nwrote %d results to %s", len(results), *out)
+	if *md {
+		fmt.Printf(" and %s", *mdOut)
+	}
+	fmt.Println()
+}
+
+func readReportFile(path string) (harness.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return harness.Report{}, err
+	}
+	defer f.Close()
+	return harness.ReadReport(f)
+}
+
+// writeMarkdownFile renders the report with the registry's workload
+// descriptions, so BENCHMARKS.md stays a pure function of the JSON plus
+// the registered workload set.
+func writeMarkdownFile(path string, report harness.Report) error {
+	// The uncontended section describes itself in the renderer; info
+	// only covers the registered contended workloads.
+	info := map[string]harness.WorkloadInfo{}
+	for _, wl := range lockreg.Workloads() {
+		info[wl.Name] = harness.WorkloadInfo{Description: wl.Description, PaperRef: wl.PaperRef}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := harness.WriteMarkdown(f, report, info); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // uncontendedLatency times batches of lock/unlock pairs on one thread
@@ -135,51 +223,51 @@ func uncontendedLatency(spec lockreg.Spec, env lockreg.Env, budget time.Duration
 	return harness.Result{
 		Name:       "uncontended/" + spec.Name,
 		Lock:       spec.Name,
+		Workload:   "uncontended",
 		Threads:    1,
 		NsPerOp:    ns,
 		Throughput: 1000 / ns, // ops per microsecond
-		Fairness:   1,
+		Fairness:   0.5,       // single thread: trivially fair (see stats.FairnessFactor)
 		TotalOps:   total,
 	}
 }
 
-// counterWorkload builds a fresh default-options lock per run protecting
-// a shared counter — the paper's minimal contended critical section.
-func counterWorkload(spec lockreg.Spec, env lockreg.Env) harness.Workload {
-	return func(threads int) func(*locks.Thread, int) {
-		e := env
-		e.MaxThreads = threads
-		m := spec.Build(e)
-		var counter uint64
-		return func(t *locks.Thread, op int) {
-			m.Lock(t)
-			counter++
-			m.Unlock(t)
-		}
-	}
-}
-
-func parseCounts(s string) ([]int, error) {
+// parseCounts parses a -threads list, or builds the default ladder: the
+// 1,2,4,8 doubling rungs plus the machine-shaped points the paper's
+// sweeps pivot on (one thread per socket, GOMAXPROCS), deduplicated and
+// sorted. Counts are capped at the virtual topology's CPU count — the
+// placement layer has one slot per virtual CPU, so e.g. GOMAXPROCS on a
+// large host must not push the ladder past it (defaults are clamped,
+// explicit requests are an error).
+func parseCounts(s string, sockets, maxCPUs int) ([]int, error) {
+	var raw []int
 	if strings.TrimSpace(s) == "" {
-		return []int{2, 4}, nil
+		for _, n := range []int{1, 2, 4, 8, sockets, runtime.GOMAXPROCS(0)} {
+			if n > maxCPUs {
+				n = maxCPUs
+			}
+			raw = append(raw, n)
+		}
+	} else {
+		for _, part := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("benchjson: bad thread count %q", part)
+			}
+			if n > maxCPUs {
+				return nil, fmt.Errorf("benchjson: thread count %d exceeds the virtual topology's %d CPUs", n, maxCPUs)
+			}
+			raw = append(raw, n)
+		}
 	}
+	seen := map[int]bool{}
 	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("benchjson: bad thread count %q", part)
+	for _, n := range raw {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
 		}
-		out = append(out, n)
 	}
+	sort.Ints(out)
 	return out, nil
-}
-
-func maxInt(xs []int) int {
-	m := 1
-	for _, x := range xs {
-		if x > m {
-			m = x
-		}
-	}
-	return m
 }

@@ -49,6 +49,12 @@ type Config struct {
 	Warmup time.Duration
 	// Repeats averages this many runs (the paper uses 5).
 	Repeats int
+	// SamplePeriod, when positive, records per-op latency for one in
+	// every SamplePeriod operations (rounded up to a power of two) into a
+	// fixed-bucket Histogram, populating the report's p50/p95/p99
+	// columns. Zero disables latency sampling, leaving the measured loop
+	// identical to the pre-v2 harness.
+	SamplePeriod int
 }
 
 // Result is an averaged benchmark outcome. The JSON field names are the
@@ -57,13 +63,22 @@ type Config struct {
 // is a schema break.
 type Result struct {
 	Name       string  `json:"name"`
-	Lock       string  `json:"lock,omitempty"` // lock algorithm under test, when the sweep varies it
+	Lock       string  `json:"lock,omitempty"`     // lock algorithm under test, when the sweep varies it
+	Workload   string  `json:"workload,omitempty"` // workload name, when the sweep varies it
 	Threads    int     `json:"threads"`
 	Throughput float64 `json:"ops_per_us"`          // ops per microsecond, averaged over repeats
 	NsPerOp    float64 `json:"ns_per_op,omitempty"` // wall-clock latency (uncontended sweeps)
 	RelStdDev  float64 `json:"rel_stddev"`          // relative stddev across repeats
 	Fairness   float64 `json:"fairness"`            // fairness factor of the last run
 	TotalOps   uint64  `json:"total_ops"`           // ops of the last run
+
+	// Per-op latency distribution, present when Config.SamplePeriod was
+	// set: fixed-bucket histogram percentiles over all repeats, in
+	// nanoseconds (each value is its bucket's upper bound).
+	P50Ns          float64 `json:"p50_ns,omitempty"`
+	P95Ns          float64 `json:"p95_ns,omitempty"`
+	P99Ns          float64 `json:"p99_ns,omitempty"`
+	LatencySamples uint64  `json:"latency_samples,omitempty"`
 }
 
 // Run executes the configured benchmark.
@@ -76,11 +91,28 @@ func Run(cfg Config, workload Workload) Result {
 	}
 	place := numa.NewPlacement(cfg.Topo, cfg.Threads, cfg.Placement)
 
+	// Latency sampling: one op in every (power-of-two) sampleMask+1 is
+	// timed individually into a per-thread histogram. When sampling is
+	// off the measured loop stays free of time.Now calls entirely;
+	// SamplePeriod 1 means every op is timed (mask 0 then matches every
+	// count), so the off switch is a separate flag, not the mask value.
+	sampling := cfg.SamplePeriod > 0
+	var sampleMask uint64
+	if sampling {
+		period := uint64(1)
+		for period < uint64(cfg.SamplePeriod) {
+			period <<= 1
+		}
+		sampleMask = period - 1
+	}
+	merged := &Histogram{}
+
 	var throughputs []float64
 	var lastOps []uint64
 	for rep := 0; rep < cfg.Repeats; rep++ {
 		op := workload(cfg.Threads)
 		opsPerThread := make([]uint64, cfg.Threads)
+		hists := make([]*Histogram, cfg.Threads)
 
 		var started, stop atomic.Bool
 		var wg sync.WaitGroup
@@ -96,10 +128,26 @@ func Run(cfg Config, workload Workload) Result {
 					n++
 				}
 				var count uint64
-				for !stop.Load() {
-					op(th, n)
-					n++
-					count++
+				if !sampling {
+					for !stop.Load() {
+						op(th, n)
+						n++
+						count++
+					}
+				} else {
+					h := &Histogram{}
+					for !stop.Load() {
+						if count&sampleMask == 0 {
+							t0 := time.Now()
+							op(th, n)
+							h.Record(time.Since(t0))
+						} else {
+							op(th, n)
+						}
+						n++
+						count++
+					}
+					hists[w] = h
 				}
 				opsPerThread[w] = count
 			}(w)
@@ -118,13 +166,16 @@ func Run(cfg Config, workload Workload) Result {
 		}
 		throughputs = append(throughputs, float64(total)/(float64(elapsed.Nanoseconds())/1000))
 		lastOps = opsPerThread
+		for _, h := range hists {
+			merged.Merge(h)
+		}
 	}
 
 	var total uint64
 	for _, c := range lastOps {
 		total += c
 	}
-	return Result{
+	res := Result{
 		Name:       cfg.Name,
 		Threads:    cfg.Threads,
 		Throughput: stats.Mean(throughputs),
@@ -132,6 +183,13 @@ func Run(cfg Config, workload Workload) Result {
 		Fairness:   stats.FairnessFactor(lastOps),
 		TotalOps:   total,
 	}
+	if merged.Samples() > 0 {
+		res.P50Ns = merged.Percentile(50)
+		res.P95Ns = merged.Percentile(95)
+		res.P99Ns = merged.Percentile(99)
+		res.LatencySamples = merged.Samples()
+	}
+	return res
 }
 
 // Sweep runs the workload across thread counts and returns a series.
@@ -160,10 +218,100 @@ type Report struct {
 	// numbers are noisier than full sweeps.
 	Short   bool     `json:"short"`
 	Results []Result `json:"results"`
+	// Regressions records how this report's throughputs moved against
+	// the previous checked-in report (matched by result name). Stored in
+	// the report so the generated BENCHMARKS.md stays a pure function of
+	// the JSON.
+	Regressions []Regression `json:"regressions,omitempty"`
 }
 
-// ReportSchema is the current Report layout version.
-const ReportSchema = "repro-bench/v1"
+// ReportSchema is the current Report layout version: v2 adds the
+// workload field, per-op latency percentiles and the regression diff.
+// v1 reports remain readable (see ReadReport) — they simply lack those
+// fields.
+const ReportSchema = "repro-bench/v2"
+
+// ReportSchemaV1 is the original layout, kept for reading older
+// checked-in reports and CI artifacts.
+const ReportSchemaV1 = "repro-bench/v1"
+
+// Regression is one benchmark's throughput movement between two reports.
+type Regression struct {
+	Name        string  `json:"name"`
+	OldOpsPerUs float64 `json:"old_ops_per_us"`
+	NewOpsPerUs float64 `json:"new_ops_per_us"`
+	DeltaPct    float64 `json:"delta_pct"` // (new-old)/old * 100
+}
+
+// CompareResults matches results by name across two sweeps and returns
+// the benchmarks whose throughput moved by at least minDelta (a
+// fraction, e.g. 0.10 for 10%), worst regression first.
+func CompareResults(old, new []Result, minDelta float64) []Regression {
+	prev := make(map[string]float64, len(old))
+	for _, r := range old {
+		if r.Throughput > 0 {
+			prev[r.Name] = r.Throughput
+		}
+	}
+	var out []Regression
+	for _, r := range new {
+		was, ok := prev[r.Name]
+		if !ok || r.Throughput <= 0 {
+			continue
+		}
+		delta := (r.Throughput - was) / was
+		if delta >= -minDelta && delta <= minDelta {
+			continue
+		}
+		out = append(out, Regression{
+			Name:        r.Name,
+			OldOpsPerUs: was,
+			NewOpsPerUs: r.Throughput,
+			DeltaPct:    delta * 100,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DeltaPct < out[j].DeltaPct })
+	return out
+}
+
+// ReadReport decodes a repro-bench report, accepting both the current
+// v2 schema and the v1 layout it extends: every v1 field keeps its name
+// and type in v2, so a v1 report decodes into the same struct with the
+// v2-only fields left zero.
+//
+// v1 results are upgraded to v2 naming so they stay comparable: the v1
+// contended sweep was the shared-counter spin workload under the name
+// "contended/tN/LOCK", which v2 spells "contended/spin/tN/LOCK".
+// Without the rename, CompareResults would silently match zero
+// contended benchmarks across the schema bump. The Schema field keeps
+// reporting what was actually read.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("harness: decoding report: %w", err)
+	}
+	switch rep.Schema {
+	case ReportSchema:
+		return rep, nil
+	case ReportSchemaV1:
+		for i := range rep.Results {
+			res := &rep.Results[i]
+			if res.Workload != "" {
+				continue
+			}
+			if strings.HasPrefix(res.Name, "uncontended/") {
+				res.Workload = "uncontended"
+			} else if rest, ok := strings.CutPrefix(res.Name, "contended/"); ok {
+				res.Workload = "spin"
+				res.Name = "contended/spin/" + rest
+			}
+		}
+		return rep, nil
+	default:
+		return Report{}, fmt.Errorf("harness: unsupported report schema %q (want %s or %s)",
+			rep.Schema, ReportSchema, ReportSchemaV1)
+	}
+}
 
 // NewReport wraps results with the host context of the current process.
 func NewReport(short bool, results []Result) Report {
@@ -195,14 +343,33 @@ func FormatResults(results []Result) string {
 		byName[r.Name] = append(byName[r.Name], r)
 	}
 	sort.Strings(names)
+	withLatency := false
+	for _, r := range results {
+		if r.LatencySamples > 0 {
+			withLatency = true
+			break
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %8s %14s %10s %10s\n", "benchmark", "threads", "ops/us", "relstddev", "fairness")
+	fmt.Fprintf(&b, "%-30s %8s %14s %10s %10s", "benchmark", "threads", "ops/us", "relstddev", "fairness")
+	if withLatency {
+		fmt.Fprintf(&b, " %10s %10s", "p50(ns)", "p99(ns)")
+	}
+	b.WriteByte('\n')
 	for _, name := range names {
 		rs := byName[name]
 		sort.Slice(rs, func(i, j int) bool { return rs[i].Threads < rs[j].Threads })
 		for _, r := range rs {
-			fmt.Fprintf(&b, "%-14s %8d %14.3f %9.1f%% %10.3f\n",
+			fmt.Fprintf(&b, "%-30s %8d %14.3f %9.1f%% %10.3f",
 				r.Name, r.Threads, r.Throughput, r.RelStdDev*100, r.Fairness)
+			if withLatency {
+				if r.LatencySamples > 0 {
+					fmt.Fprintf(&b, " %10.0f %10.0f", r.P50Ns, r.P99Ns)
+				} else {
+					fmt.Fprintf(&b, " %10s %10s", "-", "-")
+				}
+			}
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()

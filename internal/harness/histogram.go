@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram bucket geometry. Buckets have fixed boundaries (no dynamic
+// rescaling), so histograms recorded independently on different threads
+// merge by plain addition. Below histLinearMax the buckets are 1ns wide;
+// above it each power-of-two octave is split into histSubPerOctave linear
+// sub-buckets, bounding the relative quantisation error of any recorded
+// value by 1/histSubPerOctave = 12.5%.
+const (
+	histSubPerOctave = 8                // linear sub-buckets per octave
+	histLinearMax    = histSubPerOctave // values < this are bucketed exactly
+	histOctaves      = 27               // top octave ends at 8<<26 ns ≈ 0.5s
+	histBuckets      = histLinearMax + histOctaves*histSubPerOctave
+)
+
+// Histogram is a fixed-bucket latency histogram in nanoseconds, the
+// per-op distribution store behind the p50/p95/p99 columns of the
+// benchmark report. It is not safe for concurrent use: each worker
+// records into its own Histogram and the harness merges them afterwards.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+}
+
+// bucketOf maps a non-negative nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < histLinearMax {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 4 // v in [8<<exp, 16<<exp)
+	if exp >= histOctaves {
+		return histBuckets - 1
+	}
+	return histLinearMax + exp*histSubPerOctave + int((v>>uint(exp))-histLinearMax)
+}
+
+// bucketUpper returns the exclusive upper bound of bucket b in
+// nanoseconds — the value percentiles report ("p99 ≤ X ns").
+func bucketUpper(b int) float64 {
+	if b < histLinearMax {
+		return float64(b + 1)
+	}
+	exp := uint((b - histLinearMax) / histSubPerOctave)
+	sub := uint64((b - histLinearMax) % histSubPerOctave)
+	return float64((histLinearMax + sub + 1) << exp)
+}
+
+// Record adds one observed duration.
+func (h *Histogram) Record(d time.Duration) { h.RecordNs(d.Nanoseconds()) }
+
+// RecordNs adds one observed latency in nanoseconds.
+func (h *Histogram) RecordNs(ns int64) {
+	h.counts[bucketOf(ns)]++
+	h.total++
+}
+
+// Merge adds o's counts into h. Bucket boundaries are fixed, so merging
+// per-thread (or per-repeat) histograms is exact.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// Samples returns the number of recorded values.
+func (h *Histogram) Samples() uint64 { return h.total }
+
+// Percentile returns the upper bound (in nanoseconds) of the smallest
+// bucket below which at least p percent of recorded values fall
+// (nearest-rank: the rank is the ceiling of p%·total, so the covered
+// fraction never undershoots p). The result is deterministic for a
+// given multiset of inputs; with no samples it returns 0.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	// The epsilon keeps float noise in p/100·total from pushing an
+	// exact integer rank (e.g. p50 of 14 samples) up to the next one.
+	rank := uint64(math.Ceil(p/100*float64(h.total) - 1e-9))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}

@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	// Below histLinearMax every nanosecond value gets its own bucket.
+	for ns := int64(0); ns < histLinearMax; ns++ {
+		if got := bucketOf(ns); got != int(ns) {
+			t.Errorf("bucketOf(%d) = %d, want %d", ns, got, ns)
+		}
+		if up := bucketUpper(int(ns)); up != float64(ns+1) {
+			t.Errorf("bucketUpper(%d) = %v, want %v", ns, up, ns+1)
+		}
+	}
+	// Octave structure: [8,16) is 1ns-wide buckets, [16,32) 2ns-wide,
+	// and every value falls inside its bucket's [lower, upper) range.
+	cases := []struct {
+		ns     int64
+		bucket int
+		upper  float64
+	}{
+		{8, histLinearMax, 9},
+		{15, histLinearMax + 7, 16},
+		{16, histLinearMax + 8, 18},
+		{17, histLinearMax + 8, 18},
+		{31, histLinearMax + 15, 32},
+		{50, histLinearMax + 20, 52},
+		{1 << 20, bucketOf(1 << 20), float64(1<<20 + 1<<17)},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.bucket)
+		}
+		if up := bucketUpper(c.bucket); up != c.upper {
+			t.Errorf("bucketUpper(bucketOf(%d)) = %v, want %v", c.ns, up, c.upper)
+		}
+	}
+	// Negative and absurdly large values clamp instead of panicking.
+	if got := bucketOf(-5); got != 0 {
+		t.Errorf("bucketOf(-5) = %d, want 0", got)
+	}
+	if got := bucketOf(1 << 62); got != histBuckets-1 {
+		t.Errorf("bucketOf(1<<62) = %d, want last bucket %d", got, histBuckets-1)
+	}
+	// Monotonicity across the whole range: growing values never map to
+	// a smaller bucket, and uppers strictly increase bucket to bucket.
+	prev := -1
+	for ns := int64(0); ns < 1<<22; ns += 7 {
+		b := bucketOf(ns)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", ns, b, prev)
+		}
+		prev = b
+	}
+	for b := 1; b < histBuckets; b++ {
+		if bucketUpper(b) <= bucketUpper(b-1) {
+			t.Fatalf("bucketUpper not strictly increasing at %d", b)
+		}
+	}
+}
+
+func TestHistogramPercentilesDeterministic(t *testing.T) {
+	// 1..100ns, one sample each: p50 falls in the bucket containing 50
+	// ([48,52)), p95 in the bucket containing 95 ([88,96)), p99 in the
+	// bucket containing 99 ([96,104)).
+	var h Histogram
+	for ns := int64(1); ns <= 100; ns++ {
+		h.RecordNs(ns)
+	}
+	if n := h.Samples(); n != 100 {
+		t.Fatalf("samples = %d, want 100", n)
+	}
+	for _, c := range []struct {
+		p    float64
+		want float64
+	}{
+		{50, 52},
+		{95, 96},
+		{99, 104},
+		{100, 104},
+		{0, 2}, // rank clamps to the first sample (1ns → upper bound 2)
+	} {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestHistogramPercentileCeilsRank(t *testing.T) {
+	// 150 samples: 148 fast, 2 slow. p99's nearest rank is
+	// ceil(0.99·150) = 149, which falls in the slow bucket — flooring
+	// the rank (148) would wrongly report the fast bucket, covering
+	// only 98.67% of samples.
+	var h Histogram
+	for i := 0; i < 148; i++ {
+		h.RecordNs(1)
+	}
+	h.RecordNs(1000)
+	h.RecordNs(1000)
+	if got := h.Percentile(99); got != 1024 {
+		t.Errorf("Percentile(99) = %v, want 1024 (the slow bucket's upper bound)", got)
+	}
+	// Exact integer ranks stay put: p50 of 148+2 samples is rank 75,
+	// deep inside the fast bucket.
+	if got := h.Percentile(50); got != 2 {
+		t.Errorf("Percentile(50) = %v, want 2", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Percentile(99); got != 0 {
+		t.Errorf("empty Percentile = %v, want 0", got)
+	}
+	if h.Samples() != 0 {
+		t.Errorf("empty Samples = %d", h.Samples())
+	}
+}
+
+func TestHistogramMergeAcrossThreads(t *testing.T) {
+	// Merging per-thread histograms must equal recording everything
+	// into one histogram (fixed buckets: merge is exact).
+	var whole Histogram
+	parts := make([]*Histogram, 4)
+	for i := range parts {
+		parts[i] = &Histogram{}
+	}
+	for ns := int64(1); ns <= 4000; ns++ {
+		whole.RecordNs(ns)
+		parts[ns%4].RecordNs(ns)
+	}
+	var merged Histogram
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	merged.Merge(nil) // nil merge is a no-op
+	if merged.Samples() != whole.Samples() {
+		t.Fatalf("merged samples = %d, want %d", merged.Samples(), whole.Samples())
+	}
+	for _, p := range []float64{1, 25, 50, 75, 90, 95, 99, 99.9} {
+		if m, w := merged.Percentile(p), whole.Percentile(p); m != w {
+			t.Errorf("p%v: merged %v != whole %v", p, m, w)
+		}
+	}
+	if merged.counts != whole.counts {
+		t.Error("merged bucket counts differ from whole-recorded counts")
+	}
+}
+
+func TestRunRecordsLatencyPercentiles(t *testing.T) {
+	res := Run(Config{
+		Name:         "sampled",
+		Topo:         numa.TwoSocketXeonE5(),
+		Threads:      2,
+		Duration:     20 * time.Millisecond,
+		Repeats:      2,
+		SamplePeriod: 5, // rounds up to 8
+	}, func(threads int) func(th *locks.Thread, op int) {
+		var m sync.Mutex
+		counter := 0
+		return func(th *locks.Thread, op int) {
+			m.Lock()
+			counter++
+			m.Unlock()
+		}
+	})
+	if res.LatencySamples == 0 {
+		t.Fatal("no latency samples recorded with SamplePeriod set")
+	}
+	if res.P50Ns <= 0 || res.P95Ns < res.P50Ns || res.P99Ns < res.P95Ns {
+		t.Fatalf("percentiles not ordered: p50=%v p95=%v p99=%v", res.P50Ns, res.P95Ns, res.P99Ns)
+	}
+	// Without SamplePeriod the result must carry no latency fields
+	// (omitempty keeps the v1-compatible JSON shape).
+	res = Run(Config{
+		Name:     "unsampled",
+		Topo:     numa.TwoSocketXeonE5(),
+		Threads:  1,
+		Duration: 10 * time.Millisecond,
+		Repeats:  1,
+	}, func(threads int) func(th *locks.Thread, op int) {
+		return func(th *locks.Thread, op int) {}
+	})
+	if res.LatencySamples != 0 || res.P50Ns != 0 {
+		t.Fatalf("unsampled run carries latency fields: %+v", res)
+	}
+	// SamplePeriod 1 means every op is timed, not sampling disabled.
+	res = Run(Config{
+		Name:         "every-op",
+		Topo:         numa.TwoSocketXeonE5(),
+		Threads:      1,
+		Duration:     10 * time.Millisecond,
+		Repeats:      1,
+		SamplePeriod: 1,
+	}, func(threads int) func(th *locks.Thread, op int) {
+		return func(th *locks.Thread, op int) {}
+	})
+	if res.LatencySamples != res.TotalOps || res.LatencySamples == 0 {
+		t.Fatalf("SamplePeriod=1 sampled %d of %d ops, want all", res.LatencySamples, res.TotalOps)
+	}
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// v1Report is a verbatim slice of the pre-v2 checked-in
+// BENCH_locks.json layout: no workload, percentile or regression
+// fields.
+const v1Report = `{
+  "schema": "repro-bench/v1",
+  "go_version": "go1.24.0",
+  "gomaxprocs": 1,
+  "short": false,
+  "results": [
+    {
+      "name": "uncontended/MCS",
+      "lock": "MCS",
+      "threads": 1,
+      "ops_per_us": 43.37,
+      "ns_per_op": 23.05,
+      "rel_stddev": 0,
+      "fairness": 1,
+      "total_ops": 3240000
+    },
+    {
+      "name": "contended/t4/MCS",
+      "lock": "MCS",
+      "threads": 4,
+      "ops_per_us": 21.4,
+      "rel_stddev": 0.02,
+      "fairness": 0.9,
+      "total_ops": 1000000
+    }
+  ]
+}`
+
+func TestReadReportV1(t *testing.T) {
+	rep, err := ReadReport(strings.NewReader(v1Report))
+	if err != nil {
+		t.Fatalf("reading v1 report: %v", err)
+	}
+	if rep.Schema != ReportSchemaV1 {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Lock != "MCS" || r.NsPerOp != 23.05 || r.Throughput != 43.37 {
+		t.Fatalf("v1 fields mangled: %+v", r)
+	}
+	// v1 results are upgraded to v2 naming so cross-schema comparisons
+	// keep matching; other v2-only fields default cleanly.
+	if r.Workload != "uncontended" || r.Name != "uncontended/MCS" {
+		t.Fatalf("v1 uncontended result not upgraded: %+v", r)
+	}
+	c := rep.Results[1]
+	if c.Workload != "spin" || c.Name != "contended/spin/t4/MCS" {
+		t.Fatalf("v1 contended result not upgraded to spin naming: %+v", c)
+	}
+	if r.P99Ns != 0 || r.LatencySamples != 0 || rep.Regressions != nil {
+		t.Fatalf("v2 fields not zero on v1 report: %+v", r)
+	}
+}
+
+// TestCompareAcrossSchemas pins the upgrade's purpose: a v1 baseline's
+// contended results must match the v2 sweep's names.
+func TestCompareAcrossSchemas(t *testing.T) {
+	prev, err := ReadReport(strings.NewReader(v1Report))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := CompareResults(prev.Results, []Result{
+		{Name: "contended/spin/t4/MCS", Lock: "MCS", Workload: "spin", Threads: 4, Throughput: 10.7},
+	}, 0.10)
+	if len(regs) != 1 || regs[0].OldOpsPerUs != 21.4 {
+		t.Fatalf("v1 contended baseline not matched: %+v", regs)
+	}
+}
+
+func TestReadReportV2RoundTrip(t *testing.T) {
+	in := NewReport(false, []Result{
+		{Name: "contended/spin/t4/CNA", Lock: "CNA", Workload: "spin", Threads: 4,
+			Throughput: 2.4, Fairness: 0.5, TotalOps: 1000,
+			P50Ns: 64, P95Ns: 128, P99Ns: 512, LatencySamples: 99},
+	})
+	in.Regressions = []Regression{{Name: "contended/spin/t4/CNA", OldOpsPerUs: 3, NewOpsPerUs: 2.4, DeltaPct: -20}}
+	var buf strings.Builder
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"p99_ns"`) || !strings.Contains(buf.String(), `"regressions"`) {
+		t.Fatalf("v2 JSON missing schema keys:\n%s", buf.String())
+	}
+	out, err := ReadReport(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != ReportSchema {
+		t.Fatalf("schema = %q, want %q", out.Schema, ReportSchema)
+	}
+	if out.Results[0].P99Ns != 512 || out.Results[0].Workload != "spin" {
+		t.Fatalf("v2 fields mangled: %+v", out.Results[0])
+	}
+	if len(out.Regressions) != 1 || out.Regressions[0].DeltaPct != -20 {
+		t.Fatalf("regressions mangled: %+v", out.Regressions)
+	}
+}
+
+func TestReadReportRejectsUnknownSchema(t *testing.T) {
+	_, err := ReadReport(strings.NewReader(`{"schema": "repro-bench/v9", "results": []}`))
+	if err == nil || !strings.Contains(err.Error(), "repro-bench/v9") {
+		t.Fatalf("unknown schema accepted: %v", err)
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCompareResults(t *testing.T) {
+	old := []Result{
+		{Name: "a", Throughput: 10},
+		{Name: "b", Throughput: 10},
+		{Name: "c", Throughput: 10},
+		{Name: "gone", Throughput: 5},
+	}
+	new := []Result{
+		{Name: "a", Throughput: 5},    // -50%: regression
+		{Name: "b", Throughput: 10.5}, // +5%: below threshold
+		{Name: "c", Throughput: 15},   // +50%: improvement
+		{Name: "new", Throughput: 7},  // unmatched
+	}
+	regs := CompareResults(old, new, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want 2 entries", regs)
+	}
+	// Worst regression first.
+	if regs[0].Name != "a" || regs[0].DeltaPct != -50 {
+		t.Fatalf("first entry = %+v", regs[0])
+	}
+	if regs[1].Name != "c" || regs[1].DeltaPct != 50 {
+		t.Fatalf("second entry = %+v", regs[1])
+	}
+	if got := CompareResults(nil, new, 0.10); got != nil {
+		t.Fatalf("no-baseline compare = %+v, want nil", got)
+	}
+}

@@ -21,46 +21,68 @@ type Dentry struct {
 	nextIno *atomic.Uint64 // shared inode number allocator
 }
 
-// Kernel is the assembled mini-VFS: one qspin Domain, a dcache root and
-// per-"process" fd tables.
+// Kernel is the assembled mini-VFS: one spinlock substrate, a dcache
+// root and per-"process" fd tables.
 type Kernel struct {
-	Domain  *qspin.Domain
+	lk      Locking
 	Root    *Dentry
 	nextIno atomic.Uint64
 }
 
-// NewKernel builds a VFS over the given spinlock domain.
+// NewKernel builds a VFS whose spinlocks come from the given qspin
+// domain — the kernel-faithful configuration willitscale measures.
 func NewKernel(d *qspin.Domain) *Kernel {
-	k := &Kernel{Domain: d}
+	return NewKernelOn(DomainLocking{D: d})
+}
+
+// NewKernelOn builds a VFS over an arbitrary spinlock substrate.
+func NewKernelOn(lk Locking) *Kernel {
+	k := &Kernel{lk: lk}
 	k.Root = &Dentry{
 		Name:    "/",
+		Ref:     NewLockref(lk),
 		child:   make(map[string]*Dentry),
 		nextIno: &k.nextIno,
 	}
 	k.Root.Ref.count = 1
-	k.Root.inode = &Inode{Ino: k.nextIno.Add(1)}
+	k.Root.inode = k.newInode()
 	return k
+}
+
+// Locking returns the kernel's spinlock substrate, for attaching extra
+// lock sites (standalone fd tables, lockrefs) to the same subsystem.
+func (k *Kernel) Locking() Locking { return k.lk }
+
+// NewFiles returns a per-process fd table on the kernel's locking
+// substrate with capacity for maxFDs descriptors.
+func (k *Kernel) NewFiles(maxFDs int) *FilesStruct {
+	return NewFilesStruct(k.lk, maxFDs)
+}
+
+// newInode allocates an inode with a fresh inode number.
+func (k *Kernel) newInode() *Inode {
+	return &Inode{Ino: k.nextIno.Add(1), lk: k.lk}
 }
 
 // LookupOrCreateDir finds or creates a directory dentry under parent
 // (mkdir -p for one component).
 func (k *Kernel) LookupOrCreateDir(cpu int, parent *Dentry, name string) *Dentry {
-	d := k.Domain
-	d.Lock(&parent.Ref.lock, cpu)
+	parent.Ref.lock.Acquire(cpu)
 	if c, ok := parent.child[name]; ok {
-		parent.Ref.lock.Unlock()
+		parent.Ref.lock.Release(cpu)
 		return c
 	}
 	c := &Dentry{
 		Name:    name,
+		Ref:     NewLockref(k.lk),
 		parent:  parent,
 		child:   make(map[string]*Dentry),
-		inode:   &Inode{Ino: k.nextIno.Add(1)},
+		inode:   k.newInode(),
 		nextIno: &k.nextIno,
 	}
 	c.Ref.count = 1
 	parent.child[name] = c
-	parent.Ref.lock.Unlock()
+	parent.Ref.lock.Release(cpu)
 	return c
 }
 
@@ -73,71 +95,71 @@ func (k *Kernel) LookupOrCreateDir(cpu int, parent *Dentry, name string) *Dentry
 //  3. lockref_get_not_zero on the file dentry,
 //  4. __alloc_fd under files_struct.file_lock.
 func (k *Kernel) Open(cpu int, fs *FilesStruct, dir *Dentry, name string) (int, error) {
-	d := k.Domain
-	if !dir.Ref.GetNotDead(d, cpu) {
+	if !dir.Ref.GetNotDead(cpu) {
 		return -1, fmt.Errorf("kernelsim: directory %q is dead", dir.Name)
 	}
 
 	// d_lookup / d_alloc under the directory dentry lock.
-	d.Lock(&dir.Ref.lock, cpu)
+	dir.Ref.lock.Acquire(cpu)
 	de, ok := dir.child[name]
 	if !ok {
 		de = &Dentry{
 			Name:    name,
+			Ref:     NewLockref(k.lk),
 			parent:  dir,
-			inode:   &Inode{Ino: k.nextIno.Add(1)},
+			inode:   k.newInode(),
 			nextIno: &k.nextIno,
 		}
 		de.Ref.count = 1
 		dir.child[name] = de
 	}
-	dir.Ref.lock.Unlock()
+	dir.Ref.lock.Release(cpu)
 
-	if !de.Ref.GetNotZero(d, cpu) {
-		dir.Ref.Put(d, cpu)
+	if !de.Ref.GetNotZero(cpu) {
+		dir.Ref.Put(cpu)
 		return -1, fmt.Errorf("kernelsim: dentry %q being torn down", name)
 	}
 
 	file := &File{inode: de.inode, dentry: de}
-	fd, err := fs.AllocFD(d, cpu, file)
+	fd, err := fs.AllocFD(cpu, file)
 	if err != nil {
-		de.Ref.Put(d, cpu)
-		dir.Ref.Put(d, cpu)
+		de.Ref.Put(cpu)
+		dir.Ref.Put(cpu)
 		return -1, err
 	}
 	// The path-walk reference on the directory is dropped once the open
 	// completes (dput).
-	dir.Ref.Put(d, cpu)
+	dir.Ref.Put(cpu)
 	return fd, nil
 }
 
 // Close releases fd: __close_fd under file_lock, then dput on the file's
 // dentry.
 func (k *Kernel) Close(cpu int, fs *FilesStruct, fd int) error {
-	file, err := fs.CloseFD(k.Domain, cpu, fd)
+	file, err := fs.CloseFD(cpu, fd)
 	if err != nil {
 		return err
 	}
-	file.dentry.Ref.Put(k.Domain, cpu)
+	file.dentry.Ref.Put(cpu)
 	return nil
 }
 
 // FcntlSetLk is fcntl(fd, F_SETLK, lk): an fd lookup under
 // files_struct.file_lock followed by posix_lock_inode under flc_lock.
 func (k *Kernel) FcntlSetLk(cpu int, fs *FilesStruct, fd int, lk PosixLock) error {
-	file, err := fs.Lookup(k.Domain, cpu, fd)
+	file, err := fs.Lookup(cpu, fd)
 	if err != nil {
 		return err
 	}
-	return file.inode.LockContext().SetLk(k.Domain, cpu, lk)
+	return file.inode.LockContext().SetLk(cpu, lk)
 }
 
 // FcntlUnlock is fcntl(fd, F_SETLK, F_UNLCK).
 func (k *Kernel) FcntlUnlock(cpu int, fs *FilesStruct, fd int, owner int, start, end uint64) error {
-	file, err := fs.Lookup(k.Domain, cpu, fd)
+	file, err := fs.Lookup(cpu, fd)
 	if err != nil {
 		return err
 	}
-	file.inode.LockContext().Unlock(k.Domain, cpu, owner, start, end)
+	file.inode.LockContext().Unlock(cpu, owner, start, end)
 	return nil
 }

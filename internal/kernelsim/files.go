@@ -2,8 +2,6 @@ package kernelsim
 
 import (
 	"fmt"
-
-	"repro/internal/qspin"
 )
 
 // File is an open file description (struct file).
@@ -20,22 +18,23 @@ func (f *File) Inode() *Inode { return f.inode }
 // files_struct.file_lock, which Table 1 shows contended from __alloc_fd
 // and __close_fd in four of the four will-it-scale benchmarks.
 type FilesStruct struct {
-	fileLock qspin.SpinLock
+	fileLock Lock
 	bitmap   []uint64
 	files    []*File
 	next     int // lowest fd to start searching from (kernel next_fd)
 }
 
-// NewFilesStruct returns an fd table with capacity for maxFDs
-// descriptors.
-func NewFilesStruct(maxFDs int) *FilesStruct {
+// NewFilesStruct returns an fd table on the given spinlock substrate
+// with capacity for maxFDs descriptors.
+func NewFilesStruct(lk Locking, maxFDs int) *FilesStruct {
 	if maxFDs < 1 {
 		maxFDs = 64
 	}
 	words := (maxFDs + 63) / 64
 	return &FilesStruct{
-		bitmap: make([]uint64, words),
-		files:  make([]*File, maxFDs),
+		fileLock: lk.NewLock(),
+		bitmap:   make([]uint64, words),
+		files:    make([]*File, maxFDs),
 	}
 }
 
@@ -64,22 +63,22 @@ func (fs *FilesStruct) allocFD() (int, error) {
 }
 
 // AllocFD claims the lowest free descriptor for file under file_lock.
-func (fs *FilesStruct) AllocFD(d *qspin.Domain, cpu int, file *File) (int, error) {
-	d.Lock(&fs.fileLock, cpu)
+func (fs *FilesStruct) AllocFD(cpu int, file *File) (int, error) {
+	fs.fileLock.Acquire(cpu)
 	fd, err := fs.allocFD()
 	if err == nil {
 		fs.files[fd] = file
 	}
-	fs.fileLock.Unlock()
+	fs.fileLock.Release(cpu)
 	return fd, err
 }
 
 // CloseFD releases a descriptor under file_lock (__close_fd) and
 // returns the file it referenced.
-func (fs *FilesStruct) CloseFD(d *qspin.Domain, cpu int, fd int) (*File, error) {
-	d.Lock(&fs.fileLock, cpu)
+func (fs *FilesStruct) CloseFD(cpu int, fd int) (*File, error) {
+	fs.fileLock.Acquire(cpu)
 	if fd < 0 || fd >= len(fs.files) || fs.files[fd] == nil {
-		fs.fileLock.Unlock()
+		fs.fileLock.Release(cpu)
 		return nil, fmt.Errorf("kernelsim: EBADF %d", fd)
 	}
 	file := fs.files[fd]
@@ -88,32 +87,32 @@ func (fs *FilesStruct) CloseFD(d *qspin.Domain, cpu int, fd int) (*File, error) 
 	if fd < fs.next {
 		fs.next = fd
 	}
-	fs.fileLock.Unlock()
+	fs.fileLock.Release(cpu)
 	return file, nil
 }
 
 // Lookup resolves fd to its file under file_lock (the fcntl_setlk call
 // site: fcntl must translate the descriptor before locking the record).
-func (fs *FilesStruct) Lookup(d *qspin.Domain, cpu int, fd int) (*File, error) {
-	d.Lock(&fs.fileLock, cpu)
+func (fs *FilesStruct) Lookup(cpu int, fd int) (*File, error) {
+	fs.fileLock.Acquire(cpu)
 	if fd < 0 || fd >= len(fs.files) || fs.files[fd] == nil {
-		fs.fileLock.Unlock()
+		fs.fileLock.Release(cpu)
 		return nil, fmt.Errorf("kernelsim: EBADF %d", fd)
 	}
 	file := fs.files[fd]
-	fs.fileLock.Unlock()
+	fs.fileLock.Release(cpu)
 	return file, nil
 }
 
 // OpenCount returns the number of live descriptors under file_lock.
-func (fs *FilesStruct) OpenCount(d *qspin.Domain, cpu int) int {
-	d.Lock(&fs.fileLock, cpu)
+func (fs *FilesStruct) OpenCount(cpu int) int {
+	fs.fileLock.Acquire(cpu)
 	n := 0
 	for _, f := range fs.files {
 		if f != nil {
 			n++
 		}
 	}
-	fs.fileLock.Unlock()
+	fs.fileLock.Release(cpu)
 	return n
 }

@@ -1,4 +1,4 @@
-// Package kernelsim is a miniature VFS built on the qspin spinlock port:
+// Package kernelsim is a miniature VFS built on pluggable spinlocks:
 // file-descriptor tables guarded by files_struct.file_lock, inodes with
 // POSIX record locks guarded by file_lock_context.flc_lock, and a dentry
 // cache whose entries carry a kernel-style lockref. It exists to run the
@@ -6,82 +6,92 @@
 // the CNA qspinlock, reproducing exactly the contention points the
 // paper's Table 1 identifies.
 //
-// Every spinlock in this package is a qspin.SpinLock from one shared
-// Domain, as in the kernel: switching the Domain's policy switches every
-// lock in the subsystem between the stock MCS slow path and CNA.
+// Which spinlock implementation guards the VFS is a Locking (see
+// locking.go). The kernel-faithful build is DomainLocking: every
+// spinlock in the subsystem is a qspin.SpinLock from one shared Domain,
+// as in the kernel, so switching the Domain's policy switches the whole
+// subsystem between the stock MCS slow path and CNA. MutexLocking runs
+// the same VFS on any user-space locks.Mutex, which is how the
+// perf-regression pipeline sweeps every registered lock over kernel-sim
+// workloads.
 package kernelsim
 
-import (
-	"repro/internal/qspin"
-)
-
-// Lockref is the kernel's struct lockref: a spinlock and a reference
-// count packed together, protecting dentry reference counting (the
+// Lockref models the kernel's struct lockref: a spinlock guarding a
+// reference count, protecting dentry reference counting (the
 // lockref.lock contention Table 1 reports for open1_threads via dput,
-// d_alloc, lockref_get_not_zero and lockref_get_not_dead).
+// d_alloc, lockref_get_not_zero and lockref_get_not_dead). Unlike the
+// kernel's packed 8-byte layout, the lock here sits behind the
+// substrate's Lock interface (an indirection both qspin policies and
+// every registry lock pay identically, so policy and algorithm
+// comparisons stay apples-to-apples).
 //
 // The kernel's 8-byte cmpxchg fast path (bumping the count while the
 // lock is observed free) is an uncontended-case optimisation; under the
 // contention the paper measures every operation falls back to the
 // spinlock, which is what this port implements.
 type Lockref struct {
-	lock  qspin.SpinLock
+	lock  Lock
 	count int64 // protected by lock
 	dead  bool  // protected by lock; set once the object is being freed
 }
 
+// NewLockref returns a lockref whose spinlock comes from lk.
+func NewLockref(lk Locking) Lockref {
+	return Lockref{lock: lk.NewLock()}
+}
+
 // Get increments the reference count.
-func (l *Lockref) Get(d *qspin.Domain, cpu int) {
-	d.Lock(&l.lock, cpu)
+func (l *Lockref) Get(cpu int) {
+	l.lock.Acquire(cpu)
 	l.count++
-	l.lock.Unlock()
+	l.lock.Release(cpu)
 }
 
 // GetNotZero increments the count only if it is positive, returning
 // whether it did (lockref_get_not_zero).
-func (l *Lockref) GetNotZero(d *qspin.Domain, cpu int) bool {
-	d.Lock(&l.lock, cpu)
+func (l *Lockref) GetNotZero(cpu int) bool {
+	l.lock.Acquire(cpu)
 	ok := l.count > 0
 	if ok {
 		l.count++
 	}
-	l.lock.Unlock()
+	l.lock.Release(cpu)
 	return ok
 }
 
 // GetNotDead increments the count only if the object is not marked dead
 // (lockref_get_not_dead).
-func (l *Lockref) GetNotDead(d *qspin.Domain, cpu int) bool {
-	d.Lock(&l.lock, cpu)
+func (l *Lockref) GetNotDead(cpu int) bool {
+	l.lock.Acquire(cpu)
 	ok := !l.dead
 	if ok {
 		l.count++
 	}
-	l.lock.Unlock()
+	l.lock.Release(cpu)
 	return ok
 }
 
 // Put decrements the count and returns the new value; at zero the caller
 // owns teardown (dput semantics, simplified).
-func (l *Lockref) Put(d *qspin.Domain, cpu int) int64 {
-	d.Lock(&l.lock, cpu)
+func (l *Lockref) Put(cpu int) int64 {
+	l.lock.Acquire(cpu)
 	l.count--
 	n := l.count
-	l.lock.Unlock()
+	l.lock.Release(cpu)
 	return n
 }
 
 // MarkDead marks the object dead (dentry kill path).
-func (l *Lockref) MarkDead(d *qspin.Domain, cpu int) {
-	d.Lock(&l.lock, cpu)
+func (l *Lockref) MarkDead(cpu int) {
+	l.lock.Acquire(cpu)
 	l.dead = true
-	l.lock.Unlock()
+	l.lock.Release(cpu)
 }
 
 // Count reads the count under the lock.
-func (l *Lockref) Count(d *qspin.Domain, cpu int) int64 {
-	d.Lock(&l.lock, cpu)
+func (l *Lockref) Count(cpu int) int64 {
+	l.lock.Acquire(cpu)
 	n := l.count
-	l.lock.Unlock()
+	l.lock.Release(cpu)
 	return n
 }

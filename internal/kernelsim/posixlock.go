@@ -3,8 +3,6 @@ package kernelsim
 import (
 	"fmt"
 	"sync/atomic"
-
-	"repro/internal/qspin"
 )
 
 // LockType is a POSIX record lock type.
@@ -42,7 +40,7 @@ func (l PosixLock) conflicts(o PosixLock) bool {
 // record locks under flc_lock — the lock Table 1 shows contended from
 // posix_lock_inode in lock2_threads.
 type FileLockContext struct {
-	flcLock qspin.SpinLock
+	flcLock Lock
 	posix   []PosixLock
 }
 
@@ -50,16 +48,24 @@ type FileLockContext struct {
 // lazily like the kernel's (locks_get_lock_context).
 type Inode struct {
 	Ino uint64
+	lk  Locking
 	flc atomic.Pointer[FileLockContext]
 }
 
+// NewInode returns an inode whose lazily allocated lock context draws
+// its flc_lock from lk.
+func NewInode(lk Locking, ino uint64) *Inode {
+	return &Inode{Ino: ino, lk: lk}
+}
+
 // LockContext returns the inode's lock context, allocating it on first
-// use.
+// use. Racing allocations may each build a lock; exactly one context
+// wins the CAS and the losers are garbage.
 func (ino *Inode) LockContext() *FileLockContext {
 	if c := ino.flc.Load(); c != nil {
 		return c
 	}
-	c := &FileLockContext{}
+	c := &FileLockContext{flcLock: ino.lk.NewLock()}
 	if ino.flc.CompareAndSwap(nil, c) {
 		return c
 	}
@@ -69,11 +75,11 @@ func (ino *Inode) LockContext() *FileLockContext {
 // SetLk applies a non-blocking F_SETLK: it acquires flc_lock, checks
 // for conflicts, and installs the lock (merging is elided; unlock
 // removes exact owner ranges). Returns an error on conflict (EAGAIN).
-func (c *FileLockContext) SetLk(d *qspin.Domain, cpu int, lk PosixLock) error {
-	d.Lock(&c.flcLock, cpu)
+func (c *FileLockContext) SetLk(cpu int, lk PosixLock) error {
+	c.flcLock.Acquire(cpu)
 	for _, have := range c.posix {
 		if lk.conflicts(have) {
-			c.flcLock.Unlock()
+			c.flcLock.Release(cpu)
 			return fmt.Errorf("kernelsim: EAGAIN owner %d range [%d,%d]", have.Owner, have.Start, have.End)
 		}
 	}
@@ -86,14 +92,14 @@ func (c *FileLockContext) SetLk(d *qspin.Domain, cpu int, lk PosixLock) error {
 		out = append(out, have)
 	}
 	c.posix = append(out, lk)
-	c.flcLock.Unlock()
+	c.flcLock.Release(cpu)
 	return nil
 }
 
 // Unlock removes the owner's locks overlapping the range (F_UNLCK,
 // whole-range semantics simplified to removal).
-func (c *FileLockContext) Unlock(d *qspin.Domain, cpu int, owner int, start, end uint64) {
-	d.Lock(&c.flcLock, cpu)
+func (c *FileLockContext) Unlock(cpu int, owner int, start, end uint64) {
+	c.flcLock.Acquire(cpu)
 	probe := PosixLock{Owner: owner, Start: start, End: end}
 	out := c.posix[:0]
 	for _, have := range c.posix {
@@ -103,13 +109,13 @@ func (c *FileLockContext) Unlock(d *qspin.Domain, cpu int, owner int, start, end
 		out = append(out, have)
 	}
 	c.posix = out
-	c.flcLock.Unlock()
+	c.flcLock.Release(cpu)
 }
 
 // Count returns the number of installed locks under flc_lock.
-func (c *FileLockContext) Count(d *qspin.Domain, cpu int) int {
-	d.Lock(&c.flcLock, cpu)
+func (c *FileLockContext) Count(cpu int) int {
+	c.flcLock.Acquire(cpu)
 	n := len(c.posix)
-	c.flcLock.Unlock()
+	c.flcLock.Release(cpu)
 	return n
 }

@@ -1,0 +1,107 @@
+package lockreg
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/numa"
+)
+
+func TestWorkloadRegistryNames(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) < 5 {
+		t.Fatalf("expected at least 5 registered workloads, got %v", names)
+	}
+	for _, want := range []string{"spin", "lockref", "dcache", "files", "posixlock"} {
+		if _, ok := LookupWorkload(want); !ok {
+			t.Errorf("workload %q not registered", want)
+		}
+	}
+	// Lookup is case-insensitive like lock names.
+	if _, ok := LookupWorkload("SPIN"); !ok {
+		t.Error("workload lookup not case-insensitive")
+	}
+	kernelCount := 0
+	for _, wl := range Workloads() {
+		if wl.Description == "" || wl.PaperRef == "" {
+			t.Errorf("workload %q lacks description or paper reference", wl.Name)
+		}
+		if wl.Kernel {
+			kernelCount++
+		}
+	}
+	if kernelCount < 4 {
+		t.Errorf("expected ≥4 kernel-sim workloads, got %d", kernelCount)
+	}
+}
+
+func TestResolveWorkloads(t *testing.T) {
+	all, err := ResolveWorkloads("all")
+	if err != nil || len(all) != len(WorkloadNames()) {
+		t.Fatalf("ResolveWorkloads(all) = %d specs, err %v", len(all), err)
+	}
+	two, err := ResolveWorkloads("spin, lockref")
+	if err != nil || len(two) != 2 || two[1].Name != "lockref" {
+		t.Fatalf("ResolveWorkloads list = %+v, err %v", two, err)
+	}
+	if _, err := ResolveWorkloads("nosuch"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestEveryWorkloadRunsEveryLockShape runs each registered workload
+// under a short harness run for a queue lock and a simple spin lock —
+// the two construction shapes — checking ops complete and the op
+// functions drive the kernel-sim state without panics. In -short mode
+// (CI's race run) it trims to one queue lock so the kernel-sim
+// workload and BindThread paths still execute under the race detector.
+func TestEveryWorkloadRunsEveryLockShape(t *testing.T) {
+	lockNames := []string{"TAS", "MCS"}
+	if testing.Short() {
+		lockNames = []string{"MCS"}
+	}
+	env := Env{Topology: numa.TwoSocketXeonE5()}
+	for _, lockName := range lockNames {
+		spec, ok := Lookup(lockName)
+		if !ok {
+			t.Fatalf("lock %q missing", lockName)
+		}
+		for _, wl := range Workloads() {
+			wl := wl
+			t.Run(wl.Name+"/"+lockName, func(t *testing.T) {
+				res := harness.Run(harness.Config{
+					Name:         "t/" + wl.Name,
+					Topo:         env.Topology,
+					Threads:      3,
+					Duration:     10 * time.Millisecond,
+					Repeats:      1,
+					SamplePeriod: 8,
+				}, wl.Make(spec, env))
+				if res.TotalOps == 0 {
+					t.Fatal("no operations completed")
+				}
+				if res.LatencySamples == 0 {
+					t.Fatal("no latency samples recorded")
+				}
+			})
+		}
+	}
+}
+
+// TestKernelWorkloadOpsAreIndependentPerRun pins that Make's returned
+// Workload builds fresh state per run: two sequential runs of the same
+// workload must not interfere (fd tables, record locks).
+func TestKernelWorkloadOpsAreIndependentPerRun(t *testing.T) {
+	spec, _ := Lookup("MCS")
+	wl, _ := LookupWorkload("files")
+	build := wl.Make(spec, Env{Topology: numa.TwoSocketXeonE5()})
+	for run := 0; run < 2; run++ {
+		op := build(2)
+		th := locks.NewThread(0, 0)
+		for i := 0; i < 50; i++ {
+			op(th, i)
+		}
+	}
+}

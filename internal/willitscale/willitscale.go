@@ -51,7 +51,7 @@ func Run(bench Bench, d *qspin.Domain, threads int, duration time.Duration) (Res
 		duration = 50 * time.Millisecond
 	}
 	k := kernelsim.NewKernel(d)
-	fs := kernelsim.NewFilesStruct(threads*8 + 64)
+	fs := k.NewFiles(threads*8 + 64)
 	tmp := k.LookupOrCreateDir(0, k.Root, "tmp")
 
 	// Per-benchmark setup.

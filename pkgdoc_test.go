@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocComments is the package-documentation lint CI runs:
+// every package under internal/ and cmd/ (and the root package) must
+// carry a package doc comment ("// Package ..." / "// Command ...") so
+// `go doc` output is useful. A new package without one fails here, not
+// in review.
+func TestPackageDocComments(t *testing.T) {
+	pkgDirs := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != "." && strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			pkgDirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for dir := range pkgDirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("%s: %v", dir, err)
+			continue
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) >= 20 {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (in %s) has no package doc comment; add a `// Package %s ...` comment so `go doc` output is useful", name, dir, name)
+			}
+		}
+	}
+}
