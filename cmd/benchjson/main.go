@@ -5,7 +5,12 @@
 // across a thread ladder and every registered workload (the shared-
 // counter spin loop plus the kernel-sim lockref/dcache/files/posixlock
 // drivers) — and writes the results as a machine-readable JSON report
-// with per-op latency percentiles.
+// with per-op latency percentiles. The default ladder includes
+// oversubscribed rungs at 2x and 4x GOMAXPROCS (threads beyond the
+// processor count wrap around the virtual topology), so each report
+// carries the spin-collapse vs. park crossover of the registered
+// "*-park" lock variants; every result is stamped with its lock's
+// wait_policy.
 //
 // The checked-in BENCH_locks.json at the repository root is the output
 // of a full run (go run ./cmd/benchjson), giving the repository a
@@ -41,7 +46,7 @@ func main() {
 		out      = flag.String("out", "BENCH_locks.json", "output file for the JSON report")
 		lockList = flag.String("locks", "all", "comma-separated lock names (see README), or 'all'")
 		wlList   = flag.String("workloads", "all", "comma-separated contended workload names, or 'all'")
-		threads  = flag.String("threads", "", "comma-separated contended thread counts (default: the 1,2,4,8 ladder plus socket count and GOMAXPROCS)")
+		threads  = flag.String("threads", "", "comma-separated contended thread counts; 'Nx' entries mean N*GOMAXPROCS (default: the 1,2,4,8 ladder plus socket count, GOMAXPROCS and the oversubscribed 2x/4x rungs)")
 		short    = flag.Bool("short", false, "smoke mode for CI: ~4x shorter measurement windows and fewer repeats (noisier numbers)")
 		md       = flag.Bool("md", false, "also render the report as markdown (see -mdout)")
 		mdOut    = flag.String("mdout", "BENCHMARKS.md", "output file for the markdown rendering")
@@ -74,7 +79,7 @@ func main() {
 		os.Exit(2)
 	}
 	env := lockreg.Env{Topology: numa.TwoSocketXeonE5()}
-	counts, err := parseCounts(*threads, env.Sockets(), env.Topology.NumCPUs())
+	counts, err := parseCounts(*threads, env.Sockets())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -82,13 +87,19 @@ func main() {
 	env.MaxThreads = counts[len(counts)-1]
 
 	// Durations: long enough for a stable average on a quiet host, short
-	// enough that the CI smoke run stays in seconds.
+	// enough that the CI smoke run stays in seconds. Oversubscribed
+	// rungs (threads > GOMAXPROCS) get much longer windows: their
+	// dynamics are bimodal — stretches of uncontended monopoly inside a
+	// scheduler quantum alternating with handover convoys — and short
+	// windows sample one mode or the other instead of the mixture.
 	latencyBudget := 100 * time.Millisecond
 	contendedDur := 50 * time.Millisecond
+	oversubDur := 300 * time.Millisecond
 	repeats := 3
 	if *short {
 		latencyBudget = 20 * time.Millisecond
 		contendedDur = 10 * time.Millisecond
+		oversubDur = 60 * time.Millisecond
 		repeats = 2
 	}
 
@@ -115,16 +126,21 @@ func main() {
 	for _, wl := range workloads {
 		for _, spec := range specs {
 			for _, n := range counts {
+				dur := contendedDur
+				if n > runtime.GOMAXPROCS(0) {
+					dur = oversubDur
+				}
 				r := harness.Run(harness.Config{
 					Name:         fmt.Sprintf("contended/%s/t%d/%s", wl.Name, n, spec.Name),
 					Topo:         env.Topology,
 					Threads:      n,
-					Duration:     contendedDur,
+					Duration:     dur,
 					Repeats:      repeats,
 					SamplePeriod: 64,
 				}, wl.Make(spec, env))
 				r.Lock = spec.Name
 				r.Workload = wl.Name
+				r.WaitPolicy = spec.Wait
 				results = append(results, r)
 			}
 		}
@@ -224,6 +240,7 @@ func uncontendedLatency(spec lockreg.Spec, env lockreg.Env, budget time.Duration
 		Name:       "uncontended/" + spec.Name,
 		Lock:       spec.Name,
 		Workload:   "uncontended",
+		WaitPolicy: spec.Wait,
 		Threads:    1,
 		NsPerOp:    ns,
 		Throughput: 1000 / ns, // ops per microsecond
@@ -233,31 +250,32 @@ func uncontendedLatency(spec lockreg.Spec, env lockreg.Env, budget time.Duration
 }
 
 // parseCounts parses a -threads list, or builds the default ladder: the
-// 1,2,4,8 doubling rungs plus the machine-shaped points the paper's
-// sweeps pivot on (one thread per socket, GOMAXPROCS), deduplicated and
-// sorted. Counts are capped at the virtual topology's CPU count — the
-// placement layer has one slot per virtual CPU, so e.g. GOMAXPROCS on a
-// large host must not push the ladder past it (defaults are clamped,
-// explicit requests are an error).
-func parseCounts(s string, sockets, maxCPUs int) ([]int, error) {
+// 1,2,4,8 doubling rungs, the machine-shaped points the paper's sweeps
+// pivot on (one thread per socket, GOMAXPROCS), and the oversubscribed
+// rungs at 2x and 4x GOMAXPROCS — the regime where spinning waiters
+// collapse and parked waiters should not, so the crossover is part of
+// every checked-in sweep. Deduplicated and sorted. An entry of the form
+// "Nx" means N*GOMAXPROCS, so CI can pin an oversubscription factor
+// without knowing the runner's core count. Counts may exceed the
+// virtual topology's CPUs: placement wraps workers around, modelling
+// time-shared CPUs.
+func parseCounts(s string, sockets int) ([]int, error) {
+	gmp := runtime.GOMAXPROCS(0)
 	var raw []int
 	if strings.TrimSpace(s) == "" {
-		for _, n := range []int{1, 2, 4, 8, sockets, runtime.GOMAXPROCS(0)} {
-			if n > maxCPUs {
-				n = maxCPUs
-			}
-			raw = append(raw, n)
-		}
+		raw = []int{1, 2, 4, 8, sockets, gmp, 2 * gmp, 4 * gmp}
 	} else {
-		for _, part := range strings.Split(s, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
+		for _, tok := range strings.Split(s, ",") {
+			tok := strings.TrimSpace(tok)
+			num, mult := tok, 1
+			if rest, ok := strings.CutSuffix(tok, "x"); ok {
+				num, mult = rest, gmp
+			}
+			n, err := strconv.Atoi(num)
 			if err != nil || n < 1 {
-				return nil, fmt.Errorf("benchjson: bad thread count %q", part)
+				return nil, fmt.Errorf("benchjson: bad thread count %q", tok)
 			}
-			if n > maxCPUs {
-				return nil, fmt.Errorf("benchjson: thread count %d exceeds the virtual topology's %d CPUs", n, maxCPUs)
-			}
-			raw = append(raw, n)
+			raw = append(raw, n*mult)
 		}
 	}
 	seen := map[int]bool{}

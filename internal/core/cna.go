@@ -53,6 +53,7 @@ import (
 
 	"repro/internal/locks"
 	"repro/internal/spinwait"
+	"repro/internal/waiter"
 )
 
 // granted is the sentinel standing for the pseudo-code's spin value 1:
@@ -78,7 +79,12 @@ type Node struct {
 	secTail atomic.Pointer[Node]
 	// next is the MCS-style link to the queue successor.
 	next atomic.Pointer[Node]
-	_    [4]uint64 // pad to exactly one 64-byte cache line
+	// wait is the owner's park state and ready its prebuilt grant
+	// predicate (spin != nil), both used only on the contended path —
+	// they ride inside what used to be pure padding, keeping the node at
+	// exactly one 64-byte cache line.
+	wait  waiter.State
+	ready func() bool
 }
 
 // nodeBytes is the per-node stride used by the cached-base index path.
@@ -168,7 +174,14 @@ type Arena struct {
 
 // NewArena returns an Arena for threads with IDs below maxThreads.
 func NewArena(maxThreads int) *Arena {
-	return &Arena{nodes: make([][locks.MaxNesting]Node, maxThreads)}
+	a := &Arena{nodes: make([][locks.MaxNesting]Node, maxThreads)}
+	for i := range a.nodes {
+		for j := range a.nodes[i] {
+			n := &a.nodes[i][j]
+			n.ready = func() bool { return n.spin.Load() != nil }
+		}
+	}
+	return a
 }
 
 // MaxThreads reports the thread-ID bound the arena was built for.
@@ -198,7 +211,8 @@ type Lock struct {
 
 	opts  Options
 	arena *Arena
-	stats *Stats // nil until EnableStats: default builds write no counters
+	wait  waiter.Policy // waiting policy; read-only once the lock is shared
+	stats *Stats        // nil until EnableStats: default builds write no counters
 
 	// countdown holds per-thread remaining local handovers when
 	// FairnessCountdown is on. Indexed by thread ID and touched only by
@@ -233,6 +247,7 @@ func NewWithArena(arena *Arena, opts Options) *Lock {
 	l := &Lock{
 		opts:  opts,
 		arena: arena,
+		wait:  waiter.Default,
 	}
 	if opts.FairnessCountdown {
 		l.countdown = make([]paddedCounter, arena.MaxThreads())
@@ -245,10 +260,15 @@ func NewWithArena(arena *Arena, opts Options) *Lock {
 // must agree; see internal/lockreg).
 func (l *Lock) Name() string {
 	if l.opts.ShuffleReduction {
-		return "CNA-opt"
+		return "CNA-opt" + l.wait.Suffix()
 	}
-	return "CNA"
+	return "CNA" + l.wait.Suffix()
 }
+
+// SetWait implements waiter.Setter: it selects the waiting policy used
+// by the contended spin-word wait and the successor wakes. Call before
+// the lock is shared.
+func (l *Lock) SetWait(p waiter.Policy) { l.wait = p }
 
 // EnableStats implements locks.StatsEnabler: it switches on holder-side
 // statistics collection. Call before the lock is shared.
@@ -299,18 +319,16 @@ func (l *Lock) lockNode(me *Node, t *locks.Thread) {
 		}
 		return
 	}
-	// Someone there; clear the spin word (deferred off the fast path —
-	// the predecessor cannot observe this node until it is linked in),
-	// record our socket, and link. The socket lookup is deliberately on
-	// the contended path only.
+	// Someone there; clear the spin word and the park residue (deferred
+	// off the fast path — the predecessor cannot observe this node until
+	// it is linked in), record our socket, and link. The socket lookup
+	// is deliberately on the contended path only.
 	me.spin.Store(nil)
 	me.socket = int32(t.Socket)
+	l.wait.Prepare(&me.wait)
 	tail.next.Store(me)
 	// Wait for the lock to become available.
-	var s spinwait.Spinner
-	for me.spin.Load() == nil {
-		s.Pause()
-	}
+	l.wait.Wait(&me.wait, me.ready)
 	if st := l.stats; st != nil {
 		st.Handover.Record(t.Socket)
 	}
@@ -346,6 +364,7 @@ func (l *Lock) unlockNode(me *Node, t *locks.Thread) {
 					st.Flushes++
 				}
 				sp.spin.Store(granted)
+				l.wait.Wake(&sp.wait)
 				return
 			}
 		}
@@ -363,6 +382,7 @@ func (l *Lock) unlockNode(me *Node, t *locks.Thread) {
 	if l.opts.ShuffleReduction && sp == granted &&
 		t.RNG.Next()&l.opts.ShuffleMask != 0 {
 		next.spin.Store(granted)
+		l.wait.Wake(&next.wait)
 		return
 	}
 
@@ -377,6 +397,7 @@ func (l *Lock) unlockNode(me *Node, t *locks.Thread) {
 		// the sentinel) in the successor's spin field. The value stored
 		// is always non-nil: an empty-queue entrant set it to granted.
 		succ.spin.Store(sp)
+		l.wait.Wake(&succ.wait)
 	case sp != granted:
 		// No same-socket successor (or fairness triggered): splice the
 		// secondary queue in front of our main-queue successor and hand
@@ -387,9 +408,11 @@ func (l *Lock) unlockNode(me *Node, t *locks.Thread) {
 			st.Flushes++
 		}
 		sp.spin.Store(granted)
+		l.wait.Wake(&sp.wait)
 	default:
 		// Secondary queue empty: plain MCS handover.
 		next.spin.Store(granted)
+		l.wait.Wake(&next.wait)
 	}
 }
 

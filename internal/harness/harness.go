@@ -62,9 +62,15 @@ type Config struct {
 // pipeline (cmd/benchjson writes them, CI archives them); renaming one
 // is a schema break.
 type Result struct {
-	Name       string  `json:"name"`
-	Lock       string  `json:"lock,omitempty"`     // lock algorithm under test, when the sweep varies it
-	Workload   string  `json:"workload,omitempty"` // workload name, when the sweep varies it
+	Name     string `json:"name"`
+	Lock     string `json:"lock,omitempty"`     // lock algorithm under test, when the sweep varies it
+	Workload string `json:"workload,omitempty"` // workload name, when the sweep varies it
+	// WaitPolicy is the lock's waiting policy ("spin", "spin-park",
+	// "park"), so spin-vs-park curves can be grouped without parsing
+	// lock names. Added within schema v2 as an optional field: the
+	// tolerant reader leaves it empty (meaning "spin") on older v2
+	// files.
+	WaitPolicy string  `json:"wait_policy,omitempty"`
 	Threads    int     `json:"threads"`
 	Throughput float64 `json:"ops_per_us"`          // ops per microsecond, averaged over repeats
 	NsPerOp    float64 `json:"ns_per_op,omitempty"` // wall-clock latency (uncontended sweeps)

@@ -25,3 +25,16 @@ const (
 	CNA     = "CNA"
 	CNAOpt  = "CNA-opt"
 )
+
+// Waiting-policy name suffixes appended to a lock's canonical name when
+// it is built with a non-default waiter policy (see internal/waiter):
+// "MCS" + ParkSuffix is the registered spin-then-park variant of MCS.
+// They live here — with the algorithm names — so registry spellings and
+// Mutex.Name() strings share one source.
+const (
+	// ParkSuffix marks the spin-then-park variants ("MCS-park").
+	ParkSuffix = "-park"
+	// BlockSuffix marks immediate-park builds ("MCS-block"); not
+	// registered by default, reachable via the WithWait option.
+	BlockSuffix = "-block"
+)

@@ -37,6 +37,7 @@ import (
 	"repro/internal/locks/cohort"
 	"repro/internal/locks/hmcs"
 	"repro/internal/numa"
+	"repro/internal/waiter"
 )
 
 // Canonical algorithm names, one per registered Spec. Each equals the
@@ -59,6 +60,19 @@ const (
 	NameHMCS    = locknames.HMCS
 	NameCNA     = locknames.CNA
 	NameCNAOpt  = locknames.CNAOpt
+)
+
+// Spin-then-park variants of the queue locks with a well-defined waker
+// (see registerParkVariants): the same algorithms built with
+// waiter.SpinThenPark{}, under the base name plus locknames.ParkSuffix.
+const (
+	NameMCSPark    = locknames.MCS + locknames.ParkSuffix
+	NameCLHPark    = locknames.CLH + locknames.ParkSuffix
+	NameMCSCRPark  = locknames.MCSCR + locknames.ParkSuffix
+	NameCBOMCSPark = locknames.CBOMCS + locknames.ParkSuffix
+	NameHMCSPark   = locknames.HMCS + locknames.ParkSuffix
+	NameCNAPark    = locknames.CNA + locknames.ParkSuffix
+	NameCNAOptPark = locknames.CNAOpt + locknames.ParkSuffix
 )
 
 // Env carries the construction-time environment shared by all lock
@@ -113,6 +127,11 @@ type Spec struct {
 	Description string
 	// NUMAAware reports whether the algorithm uses socket identity.
 	NUMAAware bool
+	// Wait is the canonical name of the waiting policy the Spec builds
+	// with ("spin" for every base algorithm; "spin-park" for the
+	// registered *-park variants). Reports carry it as the wait_policy
+	// field so spin-vs-park curves can be grouped without parsing names.
+	Wait string
 	// Build constructs a lock instance for the given environment.
 	Build func(Env, ...Option) locks.Mutex
 }
@@ -142,16 +161,26 @@ func normalize(name string) string {
 //
 // Register wraps the Spec's Build so that cross-cutting options are
 // honoured uniformly: WithStats(true) calls EnableStats on any built
-// lock implementing locks.StatsEnabler, so individual Build funcs stay
-// oblivious to instrumentation.
+// lock implementing locks.StatsEnabler, and WithWait sets the waiting
+// policy on any lock implementing waiter.Setter, so individual Build
+// funcs stay oblivious to instrumentation and wait plumbing.
 func Register(s Spec) {
 	if s.Name == "" || s.Build == nil {
 		panic("lockreg: Spec needs a Name and a Build func")
 	}
+	if s.Wait == "" {
+		s.Wait = waiter.Default.Name()
+	}
 	build := s.Build
 	s.Build = func(env Env, opts ...Option) locks.Mutex {
 		m := build(env, opts...)
-		if apply(opts).stats {
+		c := apply(opts)
+		if c.wait != nil {
+			if ws, ok := m.(waiter.Setter); ok {
+				ws.SetWait(c.wait)
+			}
+		}
+		if c.stats {
 			if se, ok := m.(locks.StatsEnabler); ok {
 				se.EnableStats()
 			}
@@ -383,4 +412,42 @@ func init() {
 			return core.NewWithArena(env.arena(), cnaOptions(core.OptimizedOptions(), opts))
 		},
 	})
+
+	// Spin-then-park variants. Only queue locks whose release names a
+	// specific successor can park their waiters (someone must post the
+	// wake); the ticket-family locks have no such waker and would merely
+	// rename themselves, so they get no *-park spec — WithWait on them
+	// degrades to yield-per-recheck (see locks.Ticket).
+	registerParkVariants(
+		NameMCS, NameCLH, NameMCSCR, NameCBOMCS, NameHMCS, NameCNA, NameCNAOpt,
+	)
+}
+
+// registerParkVariants derives a "<base>-park" Spec for each named base
+// algorithm: the identical construction with waiter.SpinThenPark{}
+// injected as the default waiting policy (an explicit WithWait still
+// wins, since user options are applied after the injected one). The
+// derived spec inherits the base's aliases with the suffix appended, so
+// "malthusian-park" resolves like "malthusian" does.
+func registerParkVariants(bases ...string) {
+	for _, base := range bases {
+		spec, ok := Lookup(base)
+		if !ok {
+			panic(fmt.Sprintf("lockreg: park variant of unregistered %q", base))
+		}
+		baseBuild := spec.Build
+		park := Spec{
+			Name:        spec.Name + locknames.ParkSuffix,
+			Description: spec.Description + "; waiters spin briefly then park",
+			NUMAAware:   spec.NUMAAware,
+			Wait:        waiter.SpinThenPark{}.Name(),
+			Build: func(env Env, opts ...Option) locks.Mutex {
+				return baseBuild(env, append([]Option{WithWait(waiter.SpinThenPark{})}, opts...)...)
+			},
+		}
+		for _, a := range spec.Aliases {
+			park.Aliases = append(park.Aliases, a+locknames.ParkSuffix)
+		}
+		Register(park)
+	}
 }

@@ -10,12 +10,15 @@ import (
 )
 
 // wantNames is the full algorithm set the registry must cover, in
-// registration order.
+// registration order: the base algorithms, then the derived
+// spin-then-park variants.
 var wantNames = []string{
 	NameTAS, NameTTAS, NameBOTAS, NameTicket, NamePTL,
 	NameMCS, NameCLH, NameHBO, NameMCSCR,
 	NameCBOMCS, NameCTKTTKT, NameCPTLTKT, NameHMCS,
 	NameCNA, NameCNAOpt,
+	NameMCSPark, NameCLHPark, NameMCSCRPark,
+	NameCBOMCSPark, NameHMCSPark, NameCNAPark, NameCNAOptPark,
 }
 
 func TestNamesCoverEveryAlgorithm(t *testing.T) {

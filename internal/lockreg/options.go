@@ -1,6 +1,9 @@
 package lockreg
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/waiter"
+)
 
 // config collects every knob any algorithm understands. Each field is
 // set-or-absent so Build funcs can fall back to the paper's defaults;
@@ -28,6 +31,8 @@ type config struct {
 	slotsVal, minActVal int // PTL grant slots; MCSCR active floor
 
 	stats bool // enable holder-side statistics collection
+
+	wait waiter.Policy // waiting policy; nil = leave the lock's default
 }
 
 // Option tunes one policy knob; see the With* constructors.
@@ -92,6 +97,21 @@ func WithSlots(n int) Option {
 // WithMinActive sets MCSCR's floor on actively circulating threads.
 func WithMinActive(n int) Option {
 	return func(c *config) { c.minActSet = true; c.minActVal = n }
+}
+
+// WithWait selects the waiting policy (see internal/waiter) for locks
+// that support one: waiter.Spin{} (the default: the paper's
+// always-spinning waiters), waiter.SpinThenPark{} (bounded spin, then
+// block — the production choice when threads outnumber cores) or
+// waiter.Park{} (block immediately). Applied uniformly by the registry
+// to any built lock implementing waiter.Setter; locks without
+// configurable waiting ignore it. The policy is reflected in the lock's
+// Name() ("MCS" + "-park" …), which is how the registered "*-park"
+// variants keep registry names and Name() strings in sync. When a
+// lock's spelling already implies a policy (the "*-park" specs), an
+// explicit WithWait overrides it.
+func WithWait(p waiter.Policy) Option {
+	return func(c *config) { c.wait = p }
 }
 
 // WithStats toggles holder-side statistics collection (handover

@@ -3,15 +3,26 @@ package locks
 import (
 	"sync/atomic"
 
-	"repro/internal/spinwait"
+	"repro/internal/waiter"
 )
 
 // clhNode is a CLH queue node. Unlike MCS, a releasing thread's node is
 // adopted by its successor, so node ownership rotates through the queue.
+// The successor waits ON this node, so the park state and the prebuilt
+// ready predicate live here too: the releaser wakes its own node, which
+// is exactly where its (unknown) successor parked.
 type clhNode struct {
 	// locked is true while the owner holds or waits for the lock.
 	locked atomic.Bool
-	_      [7]uint64 // cache-line padding
+	wait   waiter.State
+	ready  func() bool // true when locked has been cleared
+	_      [3]uint64   // pad to one 64-byte cache line
+}
+
+func newCLHNode() *clhNode {
+	n := &clhNode{}
+	n.ready = func() bool { return !n.locked.Load() }
+	return n
 }
 
 // clhSlot is one nesting level's node state for one thread.
@@ -26,33 +37,38 @@ type clhSlot struct {
 // own.
 type CLH struct {
 	tail  atomic.Pointer[clhNode]
+	wait  waiter.Policy
 	slots [][MaxNesting]clhSlot
 }
 
 // NewCLH returns a CLH lock usable by threads with IDs below maxThreads.
 func NewCLH(maxThreads int) *CLH {
-	l := &CLH{slots: make([][MaxNesting]clhSlot, maxThreads)}
+	l := &CLH{slots: make([][MaxNesting]clhSlot, maxThreads), wait: waiter.Default}
 	for i := range l.slots {
 		for j := range l.slots[i] {
-			l.slots[i][j].mine = &clhNode{}
+			l.slots[i][j].mine = newCLHNode()
 		}
 	}
 	// The queue starts with a released sentinel node as the tail.
-	l.tail.Store(&clhNode{})
+	l.tail.Store(newCLHNode())
 	return l
 }
 
-// Lock enqueues t's node and spins on the predecessor's node.
+// SetWait implements waiter.Setter. Call before the lock is shared.
+func (l *CLH) SetWait(p waiter.Policy) { l.wait = p }
+
+// Lock enqueues t's node and waits on the predecessor's node.
 func (l *CLH) Lock(t *Thread) {
 	slot := &l.slots[t.ID][t.AcquireSlot()]
 	n := slot.mine
 	n.locked.Store(true)
 	pred := l.tail.Swap(n)
 	slot.pred = pred
-	var s spinwait.Spinner
-	for pred.locked.Load() {
-		s.Pause()
+	if !pred.locked.Load() {
+		return // uncontended: predecessor already released; skip the policy
 	}
+	l.wait.Prepare(&pred.wait)
+	l.wait.Wait(&pred.wait, pred.ready)
 }
 
 // Unlock releases the lock and adopts the predecessor's node for reuse.
@@ -62,7 +78,10 @@ func (l *CLH) Unlock(t *Thread) {
 	slot.mine = slot.pred // adopt predecessor's (now quiescent) node
 	slot.pred = nil
 	n.locked.Store(false)
+	// The successor (if any) parked on our node's state; wake it after
+	// publishing the release. A no-op when nobody is parked there.
+	l.wait.Wake(&n.wait)
 }
 
 // Name implements Mutex.
-func (l *CLH) Name() string { return "CLH" }
+func (l *CLH) Name() string { return "CLH" + l.wait.Suffix() }

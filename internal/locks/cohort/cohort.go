@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/locks"
+	"repro/internal/waiter"
 )
 
 // Global is a thread-oblivious lock usable as the top of the hierarchy.
@@ -57,6 +58,7 @@ type Lock struct {
 	name     string
 	global   Global
 	local    []Local
+	wait     waiter.Policy
 	maxPass  int
 	passes   []paddedCount // consecutive local passes per socket
 	sockets  int
@@ -80,9 +82,26 @@ func New(name string, global Global, local []Local, maxLocalPasses int) *Lock {
 		name:    name,
 		global:  global,
 		local:   local,
+		wait:    waiter.Default,
 		maxPass: maxLocalPasses,
 		passes:  make([]paddedCount, len(local)),
 		sockets: len(local),
+	}
+}
+
+// SetWait implements waiter.Setter: the policy is forwarded to every
+// component (local and global) that supports one. MCS locals park and
+// wake through it; ticket-shaped components degrade to proportional
+// backoff/yields (see their docs). Call before the lock is shared.
+func (c *Lock) SetWait(p waiter.Policy) {
+	c.wait = p
+	for _, l := range c.local {
+		if s, ok := l.(waiter.Setter); ok {
+			s.SetWait(p)
+		}
+	}
+	if s, ok := c.global.(waiter.Setter); ok {
+		s.SetWait(p)
 	}
 }
 
@@ -129,7 +148,7 @@ func (c *Lock) Unlock(t *locks.Thread) {
 }
 
 // Name implements locks.Mutex.
-func (c *Lock) Name() string { return c.name }
+func (c *Lock) Name() string { return c.name + c.wait.Suffix() }
 
 // Handovers exposes local/remote handover statistics (read when idle).
 // Without EnableStats it reports zeros.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/locks"
 	"repro/internal/spinwait"
+	"repro/internal/waiter"
 )
 
 // ---- Local MCS with cohort passing (the "MCS" of C-BO-MCS) ----
@@ -21,20 +22,36 @@ const (
 type cohortMCSNode struct {
 	next   atomic.Pointer[cohortMCSNode]
 	status atomic.Uint32
-	_      [4]uint64
+	wait   waiter.State
+	ready  func() bool // status has left mcsWait
+	_      [2]uint64   // pad to one 64-byte cache line
 }
 
 // MCSLocal is an MCS lock extended with cohort passing: release can hand
 // the successor a flag saying the global lock travels with the local one.
 type MCSLocal struct {
 	tail  atomic.Pointer[cohortMCSNode]
+	wait  waiter.Policy
 	nodes [][locks.MaxNesting]cohortMCSNode
 }
 
 // NewMCSLocal returns a cohort-capable MCS local lock.
 func NewMCSLocal(maxThreads int) *MCSLocal {
-	return &MCSLocal{nodes: make([][locks.MaxNesting]cohortMCSNode, maxThreads)}
+	l := &MCSLocal{
+		nodes: make([][locks.MaxNesting]cohortMCSNode, maxThreads),
+		wait:  waiter.Default,
+	}
+	for i := range l.nodes {
+		for j := range l.nodes[i] {
+			n := &l.nodes[i][j]
+			n.ready = func() bool { return n.status.Load() != mcsWait }
+		}
+	}
+	return l
 }
+
+// SetWait implements waiter.Setter. Call before the lock is shared.
+func (l *MCSLocal) SetWait(p waiter.Policy) { l.wait = p }
 
 // Lock implements Local.
 func (l *MCSLocal) Lock(t *locks.Thread, slot int) bool {
@@ -46,11 +63,9 @@ func (l *MCSLocal) Lock(t *locks.Thread, slot int) bool {
 		n.status.Store(mcsNoPass)
 		return false
 	}
+	l.wait.Prepare(&n.wait)
 	prev.next.Store(n)
-	var s spinwait.Spinner
-	for n.status.Load() == mcsWait {
-		s.Pause()
-	}
+	l.wait.Wait(&n.wait, n.ready)
 	return n.status.Load() == mcsGotPass
 }
 
@@ -67,13 +82,15 @@ func (l *MCSLocal) Unlock(t *locks.Thread, slot int, passGlobal bool) {
 			return
 		}
 		// passGlobal implies HasWaiter returned true, so a successor has
-		// at least swapped the tail; wait for it to link.
+		// at least swapped the tail; wait for it to link (a two-
+		// instruction window — the linker never parks inside it).
 		var s spinwait.Spinner
 		for next = n.next.Load(); next == nil; next = n.next.Load() {
 			s.Pause()
 		}
 	}
 	next.status.Store(status)
+	l.wait.Wake(&next.wait)
 }
 
 // HasWaiter implements Local.
@@ -84,9 +101,13 @@ func (l *MCSLocal) HasWaiter(t *locks.Thread, slot int) bool {
 
 // ---- Local ticket with cohort passing (the "TKT" of C-TKT-TKT) ----
 
-// TicketLocal is a ticket lock extended with cohort passing.
+// TicketLocal is a ticket lock extended with cohort passing. Like the
+// top-level ticket lock, release names no particular waiter, so waiting
+// runs through the policy's WaitGlobal (proportional backoff; parking
+// policies degrade to yields).
 type TicketLocal struct {
 	state atomic.Uint64 // next<<32 | grant
+	wait  waiter.Policy
 	// passFlag is written by the releasing holder before it bumps grant
 	// and read by the next holder after it observes its grant; the grant
 	// store/load pair orders the accesses.
@@ -94,14 +115,16 @@ type TicketLocal struct {
 }
 
 // NewTicketLocal returns a cohort-capable ticket local lock.
-func NewTicketLocal() *TicketLocal { return &TicketLocal{} }
+func NewTicketLocal() *TicketLocal { return &TicketLocal{wait: waiter.Default} }
+
+// SetWait implements waiter.Setter. Call before the lock is shared.
+func (l *TicketLocal) SetWait(p waiter.Policy) { l.wait = p }
 
 // Lock implements Local.
 func (l *TicketLocal) Lock(t *locks.Thread, slot int) bool {
 	ticket := uint32(l.state.Add(1<<32)>>32) - 1
-	var s spinwait.Spinner
-	for uint32(l.state.Load()) != ticket {
-		s.Pause()
+	if uint32(l.state.Load()) != ticket {
+		l.wait.WaitGlobal(func() uint32 { return ticket - uint32(l.state.Load()) })
 	}
 	return l.passFlag.Load() != 0
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/locks"
 	"repro/internal/spinwait"
+	"repro/internal/waiter"
 )
 
 // Status values carried in a leaf node. Values in [1, threshold] are the
@@ -30,13 +31,17 @@ const DefaultThreshold = 64
 type leafNode struct {
 	next   atomic.Pointer[leafNode]
 	status atomic.Uint64
-	_      [4]uint64
+	wait   waiter.State
+	ready  func() bool // status has left statusWait
+	_      [2]uint64   // pad to one 64-byte cache line
 }
 
 type rootNode struct {
 	next   atomic.Pointer[rootNode]
 	locked atomic.Bool
-	_      [4]uint64
+	wait   waiter.State
+	ready  func() bool // locked has been set
+	_      [2]uint64   // pad to one 64-byte cache line
 }
 
 // leaf is one socket's MCS queue plus its statically owned node in the
@@ -53,6 +58,7 @@ type HMCS struct {
 	rootTail  atomic.Pointer[rootNode]
 	leaves    []*leaf
 	nodes     [][locks.MaxNesting]leafNode
+	wait      waiter.Policy
 	threshold uint64
 	handover  *locks.HandoverCounter // nil until EnableStats: no counter writes by default
 }
@@ -69,13 +75,27 @@ func New(sockets, maxThreads int, threshold uint64) *HMCS {
 	l := &HMCS{
 		leaves:    make([]*leaf, sockets),
 		nodes:     make([][locks.MaxNesting]leafNode, maxThreads),
+		wait:      waiter.Default,
 		threshold: threshold,
 	}
 	for i := range l.leaves {
-		l.leaves[i] = &leaf{}
+		lf := &leaf{}
+		rn := &lf.root
+		rn.ready = rn.locked.Load
+		l.leaves[i] = lf
+	}
+	for i := range l.nodes {
+		for j := range l.nodes[i] {
+			n := &l.nodes[i][j]
+			n.ready = func() bool { return n.status.Load() != statusWait }
+		}
 	}
 	return l
 }
+
+// SetWait implements waiter.Setter: the policy covers both the leaf
+// (per-socket) and root queue waits. Call before the lock is shared.
+func (l *HMCS) SetWait(p waiter.Policy) { l.wait = p }
 
 // EnableStats implements locks.StatsEnabler. Call before the lock is
 // shared.
@@ -95,11 +115,9 @@ func (l *HMCS) Lock(t *locks.Thread) {
 
 	prev := lf.tail.Swap(me)
 	if prev != nil {
+		l.wait.Prepare(&me.wait)
 		prev.next.Store(me)
-		var s spinwait.Spinner
-		for me.status.Load() == statusWait {
-			s.Pause()
-		}
+		l.wait.Wait(&me.wait, me.ready)
 		if me.status.Load() != statusAcqPar {
 			// Ownership passed within the cohort; status carries the pass
 			// count for our eventual release.
@@ -117,11 +135,9 @@ func (l *HMCS) Lock(t *locks.Thread) {
 	rn.locked.Store(false)
 	rprev := l.rootTail.Swap(rn)
 	if rprev != nil {
+		l.wait.Prepare(&rn.wait)
 		rprev.next.Store(rn)
-		var s spinwait.Spinner
-		for !rn.locked.Load() {
-			s.Pause()
-		}
+		l.wait.Wait(&rn.wait, rn.ready)
 	}
 	if h := l.handover; h != nil {
 		h.Record(t.Socket)
@@ -138,6 +154,7 @@ func (l *HMCS) Unlock(t *locks.Thread) {
 		// Budget remains: try to pass within the cohort.
 		if succ := me.next.Load(); succ != nil {
 			succ.status.Store(count + 1)
+			l.wait.Wake(&succ.wait)
 			return
 		}
 	}
@@ -155,6 +172,7 @@ func (l *HMCS) Unlock(t *locks.Thread) {
 		}
 	}
 	succ.status.Store(statusAcqPar)
+	l.wait.Wake(&succ.wait)
 }
 
 // releaseRoot performs a plain MCS release of the root queue on behalf of
@@ -172,10 +190,11 @@ func (l *HMCS) releaseRoot(lf *leaf) {
 		}
 	}
 	next.locked.Store(true)
+	l.wait.Wake(&next.wait)
 }
 
 // Name implements locks.Mutex.
-func (l *HMCS) Name() string { return "HMCS" }
+func (l *HMCS) Name() string { return "HMCS" + l.wait.Suffix() }
 
 // Handovers exposes local/remote handover statistics (read when idle).
 // Without EnableStats it reports zeros.

@@ -23,10 +23,16 @@
 // the same Thread, which is the discipline every workload in this repo
 // (and the kernel) follows.
 //
-// # Liveness on small machines
+// # Waiting policies
 //
-// All spin loops use spinwait, which yields to the Go scheduler, so every
-// lock here is live at GOMAXPROCS=1.
+// Every queue lock waits through a pluggable waiter.Policy (see
+// internal/waiter): the default Spin policy reproduces the paper's
+// always-spinning kernel waiters, while SpinThenPark/Park block waiters
+// on a per-node semaphore for oversubscribed user-space deployments.
+// Locks expose SetWait (waiter.Setter), the registry exposes it as the
+// WithWait option plus registered "*-park" variants. Busy phases are
+// bounded and yield to the Go scheduler, so every lock here is live at
+// GOMAXPROCS=1 under every policy.
 package locks
 
 import (

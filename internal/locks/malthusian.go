@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/spinwait"
+	"repro/internal/waiter"
 )
 
 // Malthusian is the MCSCR lock of Dice ("Malthusian Locks", EuroSys
@@ -19,9 +20,18 @@ import (
 // long-term-fairness rule of the same shape as CNA's: with small
 // probability per handover, a passive waiter is reactivated at the head
 // of the main queue.
+//
+// The passivation loop — the wait a culled thread sits in until it is
+// revived — runs through the pluggable waiter policy, which is where
+// the Malthusian idea pays off in user space: under SpinThenPark a
+// culled thread is parked on its node's semaphore and consumes no
+// scheduler quanta at all until the revive handover wakes it, instead
+// of yielding in a loop for its entire (unbounded) passive tenure.
+// TestMalthusianPassiveWaitersPark pins this.
 type Malthusian struct {
 	tail  atomic.Pointer[mcsNode]
 	nodes [][MaxNesting]mcsNode
+	wait  waiter.Policy
 
 	// passive is the culled-waiter stack; only the lock holder touches
 	// it, so plain fields suffice (like CNA's holder-maintained state).
@@ -47,11 +57,14 @@ func NewMalthusian(maxThreads, minActive int, reviveMask uint64) *Malthusian {
 	if minActive < 1 {
 		minActive = 1
 	}
-	return &Malthusian{
+	l := &Malthusian{
 		nodes:      make([][MaxNesting]mcsNode, maxThreads),
+		wait:       waiter.Default,
 		reviveMask: reviveMask,
 		minActive:  minActive,
 	}
+	initMCSNodes(l.nodes)
+	return l
 }
 
 // DefaultMalthusianMinActive and DefaultMalthusianReviveMask are the
@@ -68,18 +81,22 @@ func DefaultMalthusian(maxThreads int) *Malthusian {
 	return NewMalthusian(maxThreads, DefaultMalthusianMinActive, DefaultMalthusianReviveMask)
 }
 
-// Lock is plain MCS acquisition; culling happens on the unlock side.
+// SetWait implements waiter.Setter. Call before the lock is shared.
+func (l *Malthusian) SetWait(p waiter.Policy) { l.wait = p }
+
+// Lock is plain MCS acquisition; culling happens on the unlock side. A
+// culled thread never leaves this wait — its node moves to the passive
+// list while it keeps waiting (parked, under a parking policy) until a
+// revive handover sets its flag.
 func (l *Malthusian) Lock(t *Thread) {
 	n := &l.nodes[t.ID][t.AcquireSlot()]
 	n.next.Store(nil)
 	n.locked.Store(false)
 	prev := l.tail.Swap(n)
 	if prev != nil {
+		l.wait.Prepare(&n.wait)
 		prev.next.Store(n)
-		var s spinwait.Spinner
-		for !n.locked.Load() {
-			s.Pause()
-		}
+		l.wait.Wait(&n.wait, n.ready)
 	}
 }
 
@@ -113,6 +130,7 @@ func (l *Malthusian) Unlock(t *Thread) {
 			revived.next.Store(next)
 		}
 		revived.locked.Store(true)
+		l.wait.Wake(&revived.wait)
 		return
 	}
 
@@ -139,6 +157,7 @@ func (l *Malthusian) Unlock(t *Thread) {
 					}
 				}
 				revived.locked.Store(true)
+				l.wait.Wake(&revived.wait)
 			}
 			return
 		}
@@ -150,7 +169,8 @@ func (l *Malthusian) Unlock(t *Thread) {
 
 	// Cull: if a second linked waiter exists beyond next and the active
 	// set is above the floor, move next to the passive list and hand the
-	// lock past it.
+	// lock past it. The culled waiter is not woken — under a parking
+	// policy it stays parked on its node for its whole passive tenure.
 	if nn := next.next.Load(); nn != nil && l.activeEstimate(next) > l.minActive {
 		next.next.Store(l.passiveHead)
 		l.passiveHead = next
@@ -159,6 +179,7 @@ func (l *Malthusian) Unlock(t *Thread) {
 		next = nn
 	}
 	next.locked.Store(true)
+	l.wait.Wake(&next.wait)
 }
 
 // activeEstimate counts linked waiters up to a small bound — enough to
@@ -172,9 +193,23 @@ func (l *Malthusian) activeEstimate(from *mcsNode) int {
 }
 
 // Name implements Mutex.
-func (l *Malthusian) Name() string { return "MCSCR" }
+func (l *Malthusian) Name() string { return "MCSCR" + l.wait.Suffix() }
 
 // CullStats reports (culled, revived) counts; read while idle.
 func (l *Malthusian) CullStats() (uint64, uint64) { return l.stats.culled, l.stats.revived }
+
+// passiveParked reports whether every currently passive waiter has
+// committed to a blocking wait (tests only; call while holding the lock
+// or while the lock is otherwise quiescent enough that the passive list
+// is stable).
+func (l *Malthusian) passiveParked() (parked, total int) {
+	for cur := l.passiveHead; cur != nil; cur = cur.next.Load() {
+		total++
+		if cur.wait.Parked() {
+			parked++
+		}
+	}
+	return parked, total
+}
 
 var _ Mutex = (*Malthusian)(nil)

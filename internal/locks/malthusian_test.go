@@ -1,6 +1,9 @@
 package locks
 
 import (
+	"time"
+
+	"repro/internal/waiter"
 	"runtime"
 	"sync"
 	"testing"
@@ -136,5 +139,93 @@ func TestMalthusianQuiescenceProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Error(err)
+	}
+}
+
+// waitParked polls an atomic park-state predicate with a deadline.
+func waitParked(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestMalthusianPassiveWaitersPark pins the point of routing the
+// passivation loop through the waiter policy: under SpinThenPark, a
+// culled (passive) thread commits to a blocking park — it stops
+// consuming CPU-visible spin iterations for its whole passive tenure —
+// and is still revived correctly when the queue drains. Under the
+// default all-spin policy the same tenure burns a scheduler yield per
+// loop iteration, for an unbounded time.
+//
+// The choreography is deterministic: A holds the lock, B and C queue
+// behind it and park. A's unlock sees B with a successor and an active
+// estimate above the floor, so it must cull B (the revive mask is
+// all-ones: the probabilistic revive never fires) and grant C. While C
+// holds the lock, B is passive — and provably parked, not spinning: its
+// node's park flag stays up and its park count stays frozen (park-state
+// reads are atomic, so the assertions are race-free). C's unlock
+// empties the queue, which must revive B.
+func TestMalthusianPassiveWaitersPark(t *testing.T) {
+	l := NewMalthusian(3, 1, ^uint64(0))
+	l.SetWait(waiter.SpinThenPark{Yields: -1}) // park right after the busy budget
+
+	thA, thB, thC := NewThread(0, 0), NewThread(1, 1), NewThread(2, 0)
+	nodeB, nodeC := &l.nodes[1][0], &l.nodes[2][0]
+
+	l.Lock(thA)
+	bDone := make(chan struct{})
+	go func() {
+		l.Lock(thB)
+		l.Unlock(thB)
+		close(bDone)
+	}()
+	waitParked(t, "B to park behind the holder", func() bool { return nodeB.wait.Parked() })
+	cGot := make(chan struct{})
+	cRelease := make(chan struct{})
+	go func() {
+		l.Lock(thC)
+		close(cGot)
+		<-cRelease
+		l.Unlock(thC)
+	}()
+	waitParked(t, "C to park behind B", func() bool { return nodeC.wait.Parked() })
+
+	// A's unlock: B has a linked successor and the active estimate (2)
+	// exceeds minActive (1), so B is culled and C granted.
+	l.Unlock(thA)
+	<-cGot
+
+	// B is passive while C holds the lock. It must be parked — flag up,
+	// park count frozen — i.e. consuming no CPU-visible spin iterations.
+	if !nodeB.wait.Parked() {
+		t.Fatal("culled waiter is not parked — the passivation loop bypassed the policy")
+	}
+	parks := nodeB.wait.Parks()
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	if !nodeB.wait.Parked() || nodeB.wait.Parks() != parks {
+		t.Fatalf("passive waiter kept executing: parked=%v parks %d -> %d",
+			nodeB.wait.Parked(), parks, nodeB.wait.Parks())
+	}
+
+	// C's unlock empties the queue: the mandatory drain revive must wake
+	// B exactly once, and B must complete.
+	close(cRelease)
+	select {
+	case <-bDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("culled waiter was never revived after the queue drained")
+	}
+	if culled, revived := l.CullStats(); culled != 1 || revived != 1 {
+		t.Fatalf("culled/revived = %d/%d, want 1/1", culled, revived)
+	}
+	if l.passiveLen != 0 || l.passiveHead != nil {
+		t.Fatalf("passive list not drained: len=%d", l.passiveLen)
 	}
 }

@@ -5,16 +5,34 @@ import (
 	"unsafe"
 
 	"repro/internal/spinwait"
+	"repro/internal/waiter"
 )
 
-// mcsNode is a queue node of the MCS lock. Nodes are preallocated per
-// thread and reused across acquisitions. The padding keeps each node on
-// its own cache line so neighbouring threads' spin flags do not
-// false-share.
+// mcsNode is a queue node of the MCS lock (shared with the Malthusian
+// variant). Nodes are preallocated per thread and reused across
+// acquisitions. The padding keeps each node on its own cache line so
+// neighbouring threads' spin flags do not false-share; the waiter park
+// state and the prebuilt ready closure ride inside the padding, so the
+// node stays exactly one line.
 type mcsNode struct {
 	next   atomic.Pointer[mcsNode]
 	locked atomic.Bool // set by the predecessor when ownership passes
-	_      [6]uint64
+	wait   waiter.State
+	// ready is the node's grant predicate, built once at construction so
+	// the contended wait path passes a preallocated closure to the
+	// waiting policy instead of allocating one per acquisition.
+	ready func() bool
+	_     [2]uint64 // pad to exactly one 64-byte cache line
+}
+
+// initMCSNodes installs each node's prebuilt ready closure.
+func initMCSNodes(nodes [][MaxNesting]mcsNode) {
+	for i := range nodes {
+		for j := range nodes[i] {
+			n := &nodes[i][j]
+			n.ready = n.locked.Load
+		}
+	}
 }
 
 // mcsNodeBytes is the per-node stride used by the cached-base index path.
@@ -40,6 +58,7 @@ type MCS struct {
 	// continuously and must not invalidate the holder-read fields below.
 	_     [7]uint64
 	nodes [][MaxNesting]mcsNode
+	wait  waiter.Policy    // waiting policy; read-only once the lock is shared
 	stats *HandoverCounter // nil until EnableStats: default builds write no counters
 }
 
@@ -47,7 +66,9 @@ type MCS struct {
 // Handover statistics are off by default; call EnableStats (or build via
 // the registry with WithStats) before use to collect them.
 func NewMCS(maxThreads int) *MCS {
-	return &MCS{nodes: make([][MaxNesting]mcsNode, maxThreads)}
+	l := &MCS{nodes: make([][MaxNesting]mcsNode, maxThreads), wait: waiter.Default}
+	initMCSNodes(l.nodes)
+	return l
 }
 
 // EnableStats implements StatsEnabler. Call before the lock is shared.
@@ -57,6 +78,10 @@ func (l *MCS) EnableStats() {
 		l.stats = &h
 	}
 }
+
+// SetWait implements waiter.Setter: it selects the waiting policy.
+// Call before the lock is shared.
+func (l *MCS) SetWait(p waiter.Policy) { l.wait = p }
 
 // node returns the thread's queue node for the given nesting slot,
 // indexing from a per-thread cached base pointer (one add) instead of a
@@ -80,22 +105,20 @@ func (l *MCS) Lock(t *Thread) {
 	if prev == nil {
 		// Uncontended: n.locked stays stale — it is cleared below before
 		// the node next becomes visible to a predecessor, and the unlock
-		// path never reads it.
+		// path never reads it. The waiter state is equally untouched.
 		if st := l.stats; st != nil {
 			st.Record(t.Socket)
 		}
 		return
 	}
 	// Contended: the predecessor can only reach this node through the
-	// next link published below, so clearing the spin flag here (rather
-	// than before the tail swap) keeps the uncontended path one store
-	// shorter without racing the handover.
+	// next link published below, so clearing the spin flag and park
+	// residue here (rather than before the tail swap) keeps the
+	// uncontended path shorter without racing the handover.
 	n.locked.Store(false)
+	l.wait.Prepare(&n.wait)
 	prev.next.Store(n)
-	var s spinwait.Spinner
-	for !n.locked.Load() {
-		s.Pause()
-	}
+	l.wait.Wait(&n.wait, n.ready)
 	if st := l.stats; st != nil {
 		st.Record(t.Socket)
 	}
@@ -108,7 +131,8 @@ func (l *MCS) Unlock(t *Thread) {
 	if next == nil {
 		// No linked successor. If the tail is still us, the queue is
 		// empty; otherwise a successor swapped the tail and is about to
-		// link in — wait for the link.
+		// link in — wait for the link. The linking thread is between two
+		// instructions (never parked), so this stays a plain spin.
 		if l.tail.CompareAndSwap(n, nil) {
 			return
 		}
@@ -118,10 +142,11 @@ func (l *MCS) Unlock(t *Thread) {
 		}
 	}
 	next.locked.Store(true)
+	l.wait.Wake(&next.wait)
 }
 
 // Name implements Mutex.
-func (l *MCS) Name() string { return "MCS" }
+func (l *MCS) Name() string { return "MCS" + l.wait.Suffix() }
 
 // Handovers exposes the lock's local/remote handover counts. Read it only
 // while the lock is idle; without EnableStats it reports zeros.

@@ -3,31 +3,41 @@ package locks
 import (
 	"sync/atomic"
 
-	"repro/internal/spinwait"
+	"repro/internal/waiter"
 )
 
 // Ticket is a FIFO ticket lock: one atomic fetch-add to take a ticket,
-// spin until the grant counter reaches it. Strictly fair, one word of
-// state (two 32-bit halves of a single uint64), global spinning.
+// then wait until the grant counter reaches it. Strictly fair, one word
+// of state (two 32-bit halves of a single uint64), global spinning.
 //
 // It serves as the local and global component of the C-TKT-TKT cohort
 // variant and as the "TKT" local lock of C-PTL-TKT.
+//
+// Waiting goes through the policy's WaitGlobal with the queue distance
+// (my ticket minus the current grant) as the hint — proportional
+// backoff under the default Spin policy. A ticket release names no
+// particular waiter, so there is nothing to Wake: parking policies
+// degrade to yield-per-recheck here rather than blocking.
 type Ticket struct {
 	// state packs next (high 32 bits) and grant (low 32 bits).
 	state atomic.Uint64
+	wait  waiter.Policy
 }
 
 // NewTicket returns an unlocked ticket lock.
-func NewTicket() *Ticket { return &Ticket{} }
+func NewTicket() *Ticket { return &Ticket{wait: waiter.Default} }
+
+// SetWait implements waiter.Setter. Call before the lock is shared.
+func (l *Ticket) SetWait(p waiter.Policy) { l.wait = p }
 
 // Lock takes a ticket and waits for it to be served.
 func (l *Ticket) Lock(t *Thread) {
 	ticket := uint32(l.state.Add(1<<32) >> 32) // post-increment: our ticket is next-1
 	ticket--
-	var s spinwait.Spinner
-	for uint32(l.state.Load()) != ticket {
-		s.Pause()
+	if uint32(l.state.Load()) == ticket {
+		return // uncontended: served immediately, skip the policy
 	}
+	l.wait.WaitGlobal(func() uint32 { return ticket - uint32(l.state.Load()) })
 }
 
 // Unlock serves the next ticket. Ticket locks are thread-oblivious: any
@@ -38,7 +48,7 @@ func (l *Ticket) Unlock(t *Thread) {
 }
 
 // Name implements Mutex.
-func (l *Ticket) Name() string { return "TKT" }
+func (l *Ticket) Name() string { return "TKT" + l.wait.Suffix() }
 
 // HasWaiters reports whether another thread holds a ticket behind the
 // current holder. Only meaningful when called by the lock holder; this is
@@ -57,6 +67,7 @@ func (l *Ticket) HasWaiters() bool {
 type PartitionedTicket struct {
 	next  atomic.Uint64
 	slots []paddedGrant
+	wait  waiter.Policy
 	// held records the current holder's ticket; written and read only by
 	// the holder (between Lock and Unlock), so it needs no atomics, and
 	// Unlock stays thread-oblivious (any thread releasing on the holder's
@@ -75,7 +86,7 @@ func NewPartitionedTicket(slots int) *PartitionedTicket {
 	if slots < 1 {
 		slots = 1
 	}
-	l := &PartitionedTicket{slots: make([]paddedGrant, slots)}
+	l := &PartitionedTicket{slots: make([]paddedGrant, slots), wait: waiter.Default}
 	// Slot i initially holds grant value i so that ticket i finds its
 	// grant in slot i%slots.
 	for i := range l.slots {
@@ -84,14 +95,22 @@ func NewPartitionedTicket(slots int) *PartitionedTicket {
 	return l
 }
 
-// Lock takes a ticket and spins on the slot that will announce it.
+// SetWait implements waiter.Setter. Call before the lock is shared.
+func (l *PartitionedTicket) SetWait(p waiter.Policy) { l.wait = p }
+
+// Lock takes a ticket and waits on the slot that will announce it.
 func (l *PartitionedTicket) Lock(t *Thread) {
 	ticket := l.next.Add(1) - 1
 	slot := &l.slots[ticket%uint64(len(l.slots))]
-	var s spinwait.Spinner
-	for slot.grant.Load() != ticket {
-		s.Pause()
+	if slot.grant.Load() == ticket {
+		l.held = ticket
+		return
 	}
+	// The slot's grant only ever holds tickets congruent to ours modulo
+	// the slot count, so the queue distance is the raw difference over
+	// the stride.
+	stride := uint64(len(l.slots))
+	l.wait.WaitGlobal(func() uint32 { return uint32((ticket - slot.grant.Load()) / stride) })
 	l.held = ticket
 }
 
@@ -102,4 +121,4 @@ func (l *PartitionedTicket) Unlock(t *Thread) {
 }
 
 // Name implements Mutex.
-func (l *PartitionedTicket) Name() string { return "PTL" }
+func (l *PartitionedTicket) Name() string { return "PTL" + l.wait.Suffix() }

@@ -107,38 +107,48 @@ const (
 	Compact
 )
 
-// NewPlacement assigns workers CPUs under the given policy. It panics if
-// workers exceeds the number of logical CPUs (as would real pinning).
+// NewPlacement assigns workers CPUs under the given policy. Workers may
+// outnumber the logical CPUs: the assignment wraps around, stacking
+// worker w on the CPU of worker w mod NumCPUs — the oversubscribed
+// regime, where an OS scheduler time-slices several threads per CPU.
+// That regime is a first-class benchmark axis here (spinning waiters
+// collapse there; parked waiters should not), so the placement layer
+// models it instead of rejecting it.
 func NewPlacement(topo Topology, workers int, policy Policy) *Placement {
 	if err := topo.Validate(); err != nil {
 		panic(err)
 	}
-	if workers < 0 || workers > topo.NumCPUs() {
-		panic(fmt.Sprintf("numa: %d workers exceed %d CPUs", workers, topo.NumCPUs()))
+	if workers < 0 {
+		panic(fmt.Sprintf("numa: negative worker count %d", workers))
 	}
+	ncpu := topo.NumCPUs()
 	p := &Placement{topo: topo, cpus: make([]int, workers)}
 	switch policy {
 	case Spread:
 		// CPU ids are already socket-interleaved (SocketOf = cpu % Sockets),
 		// so the identity assignment spreads breadth-first.
 		for w := 0; w < workers; w++ {
-			p.cpus[w] = w
+			p.cpus[w] = w % ncpu
 		}
 	case Compact:
 		// Walk socket by socket: all CPUs of socket 0 (its thread-0 block
-		// then its hyperthread block), then socket 1, ...
-		idx := 0
-		for s := 0; s < topo.Sockets && idx < workers; s++ {
-			for c := 0; c < topo.NumCPUs()/topo.Sockets && idx < workers; c++ {
-				p.cpus[idx] = s + c*topo.Sockets
-				idx++
-			}
+		// then its hyperthread block), then socket 1, ...; extra workers
+		// restart the walk (stacking onto socket 0 first, like a pinned
+		// oversubscribed run would).
+		perSocket := ncpu / topo.Sockets
+		for idx := 0; idx < workers; idx++ {
+			c := idx % ncpu
+			p.cpus[idx] = c/perSocket + (c%perSocket)*topo.Sockets
 		}
 	default:
 		panic(fmt.Sprintf("numa: unknown placement policy %d", policy))
 	}
 	return p
 }
+
+// Oversubscribed reports whether more workers are placed than the
+// topology has logical CPUs.
+func (p *Placement) Oversubscribed() bool { return len(p.cpus) > p.topo.NumCPUs() }
 
 // CPUOf returns the virtual CPU assigned to worker w.
 func (p *Placement) CPUOf(w int) int { return p.cpus[w] }

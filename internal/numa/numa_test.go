@@ -116,13 +116,30 @@ func TestCompactAssignsDistinctCPUs(t *testing.T) {
 	}
 }
 
-func TestPlacementPanicsOnOversubscription(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("oversubscribed placement did not panic")
+// TestPlacementOversubscriptionWraps: workers beyond the CPU count wrap
+// around (worker w stacks on the CPU of worker w mod NumCPUs) under both
+// policies — the oversubscribed benchmark regime, where several workers
+// time-share one CPU.
+func TestPlacementOversubscriptionWraps(t *testing.T) {
+	topo := TwoSocketXeonE5()
+	n := topo.NumCPUs()
+	for _, pol := range []Policy{Spread, Compact} {
+		p := NewPlacement(topo, 2*n+3, pol)
+		if !p.Oversubscribed() {
+			t.Fatalf("policy %d: %d workers on %d CPUs not reported oversubscribed", pol, 2*n+3, n)
 		}
-	}()
-	NewPlacement(TwoSocketXeonE5(), 73, Spread)
+		for w := 0; w < p.Workers(); w++ {
+			if got, want := p.CPUOf(w), p.CPUOf(w%n); got != want {
+				t.Fatalf("policy %d: worker %d on CPU %d, want wrap to CPU %d", pol, w, got, want)
+			}
+			if s := p.SocketOf(w); s < 0 || s >= topo.Sockets {
+				t.Fatalf("policy %d: worker %d on socket %d", pol, w, s)
+			}
+		}
+	}
+	if NewPlacement(topo, n, Spread).Oversubscribed() {
+		t.Fatal("exactly-full placement reported oversubscribed")
+	}
 }
 
 func TestSocketsUsedSingleWorker(t *testing.T) {

@@ -39,6 +39,7 @@ import (
 	"repro/internal/numa"
 	"repro/internal/prng"
 	"repro/internal/spinwait"
+	"repro/internal/waiter"
 )
 
 // Lock-word layout constants (mirroring the kernel's _Q_* values).
@@ -108,7 +109,12 @@ type qnode struct {
 	secTail atomic.Pointer[qnode]
 	socket  int32
 	enc     uint32 // this node's own tail encoding (constant after init)
-	_       [3]uint64
+	// wait/ready are the pluggable waiting substrate for the MCS-queue
+	// wait (the only wait in the slow path with a defined waker — the
+	// promoting predecessor). The lock-word waits below have no waker
+	// (release is a plain byte clear, as in the kernel) and always spin.
+	wait  waiter.State
+	ready func() bool
 }
 
 // Stats aggregates slow-path behaviour across all locks of a domain.
@@ -131,6 +137,7 @@ type Stats struct {
 // qnodes array.
 type Domain struct {
 	policy Policy
+	wait   waiter.Policy // queue-wait policy; read-only once shared
 	nodes  [][maxNesting]qnode
 	count  []int32 // per-CPU nesting depth; each CPU is single-threaded
 	socket []int32 // cpu → NUMA node
@@ -145,6 +152,7 @@ func NewDomain(topo numa.Topology, policy Policy) *Domain {
 	ncpu := topo.NumCPUs()
 	d := &Domain{
 		policy:        policy,
+		wait:          waiter.Default,
 		nodes:         make([][maxNesting]qnode, ncpu),
 		count:         make([]int32, ncpu),
 		socket:        make([]int32, ncpu),
@@ -155,7 +163,9 @@ func NewDomain(topo numa.Topology, policy Policy) *Domain {
 		d.socket[cpu] = int32(topo.SocketOf(cpu))
 		d.rng[cpu].Seed(uint64(cpu)*0x9e3779b97f4a7c15 + 1)
 		for idx := 0; idx < maxNesting; idx++ {
-			d.nodes[cpu][idx].enc = encode(cpu, idx)
+			n := &d.nodes[cpu][idx]
+			n.enc = encode(cpu, idx)
+			n.ready = func() bool { return n.spin.Load() != 0 }
 		}
 	}
 	return d
@@ -163,6 +173,10 @@ func NewDomain(topo numa.Topology, policy Policy) *Domain {
 
 // SetKeepLocalMask overrides CNA's fairness threshold (tests/ablations).
 func (d *Domain) SetKeepLocalMask(mask uint64) { d.keepLocalMask = mask }
+
+// SetWait implements waiter.Setter for the MCS-queue portion of the
+// slow path. Call before the domain is shared.
+func (d *Domain) SetWait(p waiter.Policy) { d.wait = p }
 
 // Policy returns the domain's slow-path policy.
 func (d *Domain) Policy() Policy { return d.policy }
@@ -264,11 +278,9 @@ func (d *Domain) queue(l *SpinLock, cpu int) {
 	if old&tailMask != 0 {
 		// Link behind the previous tail and wait to reach the queue head.
 		prev := d.decode(old >> tailShift)
+		d.wait.Prepare(&node.wait)
 		prev.next.Store(node)
-		var s spinwait.Spinner
-		for node.spin.Load() == 0 {
-			s.Pause()
-		}
+		d.wait.Wait(&node.wait, node.ready)
 	} else {
 		// We entered an empty queue: mark the spin word so the CNA
 		// handoff logic knows the secondary queue is empty (paper line 8).
@@ -345,6 +357,7 @@ func (d *Domain) tryClearTail(l *SpinLock, node *qnode) bool {
 		}
 		d.recordHandover(node, secHead)
 		secHead.spin.Store(1)
+		d.wait.Wake(&secHead.wait)
 		return true
 	}
 	return false
@@ -359,6 +372,7 @@ func (d *Domain) tryClearTail(l *SpinLock, node *qnode) bool {
 func (d *Domain) promote(node, next *qnode, cpu int) {
 	if d.policy == PolicyStock {
 		next.spin.Store(1)
+		d.wait.Wake(&next.wait)
 		return
 	}
 
@@ -371,6 +385,7 @@ func (d *Domain) promote(node, next *qnode, cpu int) {
 	case succ != nil:
 		d.recordHandover(node, succ)
 		succ.spin.Store(sp) // forwards 1 or the secondary head's encoding
+		d.wait.Wake(&succ.wait)
 	case sp > 1:
 		// Fairness (or no same-socket waiter): splice the secondary queue
 		// in front of the main-queue successor and promote its head.
@@ -381,9 +396,11 @@ func (d *Domain) promote(node, next *qnode, cpu int) {
 		}
 		d.recordHandover(node, secHead)
 		secHead.spin.Store(1)
+		d.wait.Wake(&secHead.wait)
 	default:
 		d.recordHandover(node, next)
 		next.spin.Store(1)
+		d.wait.Wake(&next.wait)
 	}
 }
 

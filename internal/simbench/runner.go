@@ -14,6 +14,8 @@
 package simbench
 
 import (
+	"fmt"
+
 	"repro/internal/memsim"
 	"repro/internal/numa"
 	"repro/internal/stats"
@@ -64,6 +66,15 @@ type Config struct {
 
 // Run executes one simulation and returns its Result.
 func Run(cfg Config) Result {
+	// The placement layer wraps workers beyond the CPU count (the real-
+	// concurrency harness's oversubscription axis), but the simulator
+	// runs every thread as an independent virtual-time timeline: two
+	// workers sharing one virtual CPU would execute fully in parallel, a
+	// physically impossible schedule. Reject it loudly here.
+	if cfg.Threads > cfg.Topo.NumCPUs() {
+		panic(fmt.Sprintf("simbench: %d threads exceed the %d-CPU topology (virtual time cannot model oversubscription)",
+			cfg.Threads, cfg.Topo.NumCPUs()))
+	}
 	s := memsim.New(cfg.Topo, cfg.Costs)
 	place := numa.NewPlacement(cfg.Topo, cfg.Threads, cfg.Placement)
 	op := cfg.Build(s, cfg.Threads)

@@ -97,11 +97,28 @@ func procyield(n uint32) uint32 {
 // scheduler round trip per unit, while long backoffs (and one-core
 // hosts) still yield on every unit once the spinner's busy budget is
 // spent. The zero value is invalid; use NewBackoff.
+//
+// The per-Wait duration is capped at max, and the TOTAL work since the
+// last Reset is capped as well: once a waiter has burned through
+// totalSpinCap units, every subsequent Wait collapses to a single pause
+// (a scheduler yield by then). Without the second cap an oversubscribed
+// host pays up to max consecutive Gosched calls per Wait — on a
+// GOMAXPROCS=1 box that is hundreds of scheduler round trips between
+// two looks at the lock word, starving the very goroutine that will
+// release it.
 type Backoff struct {
 	cur, min, max uint
+	spent         uint64 // units consumed since the last Reset
 	rngState      uint64
 	s             Spinner
 }
+
+// totalSpinCap bounds the cumulative pre-yield spin budget of one
+// acquisition attempt (see the Backoff doc comment). 4096 units is a
+// few microseconds of busy work — far past the point where backing off
+// harder helps, and small enough that a one-core host reaches the
+// yield-once-per-Wait regime almost immediately.
+const totalSpinCap = 4096
 
 // NewBackoff returns a Backoff that waits between min and max pause units,
 // doubling on every Wait. seed randomises the jitter.
@@ -116,13 +133,20 @@ func NewBackoff(min, max uint, seed uint64) *Backoff {
 }
 
 // Wait blocks for the current backoff duration (with jitter) and doubles
-// the duration, capped at max.
+// the duration, capped at max. Once the total budget since Reset is
+// spent, Wait degrades to a single pause — one scheduler yield per call
+// on a saturated host — instead of up to max of them.
 func (b *Backoff) Wait() {
+	if b.spent >= totalSpinCap {
+		b.s.Pause()
+		return
+	}
 	// xorshift64 jitter: wait a uniform number of units in [1, cur].
 	b.rngState ^= b.rngState << 13
 	b.rngState ^= b.rngState >> 7
 	b.rngState ^= b.rngState << 17
 	units := 1 + b.rngState%uint64(b.cur)
+	b.spent += units
 	for i := uint64(0); i < units; i++ {
 		b.s.Pause()
 	}
@@ -139,6 +163,7 @@ func (b *Backoff) Wait() {
 // acquisition.
 func (b *Backoff) Reset() {
 	b.cur = b.min
+	b.spent = 0
 	b.s.Reset()
 }
 

@@ -162,3 +162,37 @@ func BenchmarkPauseYieldPhase(b *testing.B) {
 		s.Pause()
 	}
 }
+
+// TestBackoffTotalSpinIsCapped pins the oversubscription audit fix:
+// however large the per-Wait window grows, the cumulative busy budget of
+// one acquisition attempt is bounded, after which every Wait performs
+// exactly one pause (a yield by then). Without the cap, a Backoff with a
+// large max issues up to max consecutive yields per Wait — scheduler
+// starvation on a GOMAXPROCS=1 host.
+func TestBackoffTotalSpinIsCapped(t *testing.T) {
+	b := NewBackoff(1, 1<<20, 42)
+	for i := 0; i < 64 && b.spent < totalSpinCap; i++ {
+		b.Wait()
+	}
+	if b.spent < totalSpinCap {
+		t.Fatalf("64 doubling Waits spent only %d units, never reached the %d cap", b.spent, totalSpinCap)
+	}
+	// Past the cap, Wait must not grow the spent counter by more than
+	// the single degraded pause per call.
+	spent := b.spent
+	calls := b.s.calls
+	for i := 0; i < 100; i++ {
+		b.Wait()
+	}
+	if b.spent != spent {
+		t.Fatalf("capped Wait kept accumulating units: %d -> %d", spent, b.spent)
+	}
+	if got := b.s.calls - calls; got != 100 {
+		t.Fatalf("capped Wait made %d spinner pauses over 100 calls, want exactly 100", got)
+	}
+	// Reset restores the full budget.
+	b.Reset()
+	if b.spent != 0 {
+		t.Fatalf("Reset left spent = %d", b.spent)
+	}
+}

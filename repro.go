@@ -22,6 +22,14 @@
 //
 //	lock := repro.MustBuild("CNA", env, repro.WithThreshold(0x3ff))
 //
+// Waiting is pluggable (internal/waiter): by default every waiter
+// spins, as in the paper's kernel setting; WithWait selects
+// spin-then-park or immediate-park waiters for oversubscribed
+// deployments, and the registry carries pre-wired "*-park" variants
+// ("mcs-park", "cna-park", ...) for the queue locks that can park:
+//
+//	lock := repro.MustBuild("cna-park", env)     // == "cna" + WithWait(SpinThenParkWait())
+//
 // The CNA-specific constructors (NewCNA, NewArena) remain for callers
 // that want the concrete *CNA type, e.g. to read Stats(). Statistics
 // collection is opt-in — build with WithStats(true) (or call
@@ -38,6 +46,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/numa"
 	"repro/internal/qspin"
+	"repro/internal/waiter"
 )
 
 // Mutex is the uniform lock interface implemented by every user-space
@@ -120,6 +129,30 @@ func WithSlots(n int) BuildOption { return lockreg.WithSlots(n) }
 
 // WithMinActive sets MCSCR's floor on circulating threads.
 func WithMinActive(n int) BuildOption { return lockreg.WithMinActive(n) }
+
+// WaitPolicy decides what a lock waiter does until its turn comes: spin
+// (the default), spin briefly then park on a per-node semaphore, or
+// park immediately. See internal/waiter.
+type WaitPolicy = waiter.Policy
+
+// SpinWait returns the default all-spin waiting policy (the paper's
+// kernel waiters).
+func SpinWait() WaitPolicy { return waiter.Spin{} }
+
+// SpinThenParkWait returns the bounded-spin-then-block policy — the
+// production choice when threads outnumber cores. The registered
+// "*-park" lock variants are built with it.
+func SpinThenParkWait() WaitPolicy { return waiter.SpinThenPark{} }
+
+// ParkWait returns the block-immediately policy (the oversubscribed
+// extreme).
+func ParkWait() WaitPolicy { return waiter.Park{} }
+
+// WithWait selects the waiting policy for locks that support one; the
+// lock's Name() gains the policy's suffix ("MCS-park"). Locks without
+// a parkable waiter (the ticket family) degrade to yield-per-recheck
+// under parking policies.
+func WithWait(p WaitPolicy) BuildOption { return lockreg.WithWait(p) }
 
 // WithStats toggles holder-side statistics collection (handover
 // locality, secondary-queue traffic). Statistics default to off so a
