@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/gonative"
 	"repro/internal/lockreg"
 	"repro/internal/locks"
 	"repro/internal/memsim"
@@ -205,6 +206,24 @@ func BenchmarkUncontended(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				l.Lock(th)
 				l.Unlock(th)
+			}
+		})
+	}
+}
+
+// BenchmarkUncontendedGoNative is BenchmarkUncontended through the
+// goroutine-native adapter (NewMutex's path): the per-acquisition
+// thread-slot claim/release on top of each lock's own fast path, and an
+// allocation check that the adapter's hot path allocates nothing.
+func BenchmarkUncontendedGoNative(b *testing.B) {
+	env := lockreg.Env{MaxThreads: 1, Topology: numa.TwoSocketXeonE5()}
+	for _, spec := range lockreg.All() {
+		b.Run(spec.Name, func(b *testing.B) {
+			l := gonative.Wrap(spec, env)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.Lock()
+				l.Unlock()
 			}
 		})
 	}

@@ -12,6 +12,14 @@
 // "*-park" lock variants; every result is stamped with its lock's
 // wait_policy.
 //
+// The go-native mode (-gonative, on by default) additionally measures
+// every lock through the goroutine-native adapter (repro.NewMutex):
+// the uncontended sweep repeated with per-acquisition thread-slot
+// claiming — rendered as the regression-gated "Adapter overhead" table
+// in BENCHMARKS.md — plus one contended spin-native rung. The stdlib
+// baselines std/std-rw appear in every sweep like any other registered
+// lock, so CNA is always read against sync.Mutex.
+//
 // The checked-in BENCH_locks.json at the repository root is the output
 // of a full run (go run ./cmd/benchjson), giving the repository a
 // trajectory of numbers over time; BENCHMARKS.md is the human-readable
@@ -35,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/gonative"
 	"repro/internal/harness"
 	"repro/internal/lockreg"
 	"repro/internal/locks"
@@ -48,6 +57,7 @@ func main() {
 		wlList   = flag.String("workloads", "all", "comma-separated contended workload names, or 'all'")
 		threads  = flag.String("threads", "", "comma-separated contended thread counts; 'Nx' entries mean N*GOMAXPROCS (default: the 1,2,4,8 ladder plus socket count, GOMAXPROCS and the oversubscribed 2x/4x rungs)")
 		short    = flag.Bool("short", false, "smoke mode for CI: ~4x shorter measurement windows and fewer repeats (noisier numbers)")
+		goNative = flag.Bool("gonative", true, "include the go-native sweeps: adapter-overhead latency per lock plus a contended spin-native rung")
 		md       = flag.Bool("md", false, "also render the report as markdown (see -mdout)")
 		mdOut    = flag.String("mdout", "BENCHMARKS.md", "output file for the markdown rendering")
 		render   = flag.Bool("render", false, "skip measurement: re-render -mdout from the existing -out JSON (implies -md)")
@@ -121,6 +131,15 @@ func main() {
 		results = append(results, uncontendedLatency(spec, env, latencyBudget))
 	}
 
+	// Sweep 1b: the same single-thread pairs through the goroutine-
+	// native adapter (repro.NewMutex's path). Together with sweep 1 this
+	// is the regression-gated adapter-overhead table in BENCHMARKS.md.
+	if *goNative {
+		for _, spec := range specs {
+			results = append(results, nativeUncontendedLatency(spec, env, latencyBudget))
+		}
+	}
+
 	// Sweep 2: every workload × every lock × the thread ladder, with
 	// per-op latency sampling feeding the percentile columns.
 	for _, wl := range workloads {
@@ -143,6 +162,27 @@ func main() {
 				r.WaitPolicy = spec.Wait
 				results = append(results, r)
 			}
+		}
+	}
+
+	// Sweep 2b: one contended go-native rung — the spin workload driven
+	// through the adapter from anonymous goroutines, so slot claiming
+	// and the lock protocol are measured together under contention.
+	if *goNative {
+		const nativeThreads = 4
+		for _, spec := range specs {
+			r := harness.Run(harness.Config{
+				Name:         fmt.Sprintf("contended/spin-native/t%d/%s", nativeThreads, spec.Name),
+				Topo:         env.Topology,
+				Threads:      nativeThreads,
+				Duration:     contendedDur,
+				Repeats:      repeats,
+				SamplePeriod: 64,
+			}, nativeSpinWorkload(spec, env).Threaded())
+			r.Lock = spec.Name
+			r.Workload = "spin-native"
+			r.WaitPolicy = spec.Wait
+			results = append(results, r)
 		}
 	}
 
@@ -192,8 +232,14 @@ func readReportFile(path string) (harness.Report, error) {
 // the registered workload set.
 func writeMarkdownFile(path string, report harness.Report) error {
 	// The uncontended section describes itself in the renderer; info
-	// only covers the registered contended workloads.
-	info := map[string]harness.WorkloadInfo{}
+	// covers the registered contended workloads plus the benchjson-local
+	// go-native spin rung (not a registry workload: the registry cannot
+	// depend on the adapter package that wraps its own specs).
+	info := map[string]harness.WorkloadInfo{
+		"spin-native": {Description: "The spin workload driven through the goroutine-native " +
+			"adapter (repro.NewMutex): anonymous goroutines, thread slots claimed per acquisition — " +
+			"the drop-in sync.Mutex usage pattern under contention."},
+	}
 	for _, wl := range lockreg.Workloads() {
 		info[wl.Name] = harness.WorkloadInfo{Description: wl.Description, PaperRef: wl.PaperRef}
 	}
@@ -208,44 +254,93 @@ func writeMarkdownFile(path string, report harness.Report) error {
 	return f.Close()
 }
 
-// uncontendedLatency times batches of lock/unlock pairs on one thread
-// within a wall-clock budget and reports the fastest batch (the usual
-// best-of discipline for latency microbenchmarks: the minimum is the
-// run least disturbed by the host).
-func uncontendedLatency(spec lockreg.Spec, env lockreg.Env, budget time.Duration) harness.Result {
-	l := spec.Build(env)
-	th := locks.NewThread(0, 0)
+// bestBatchLatency times batches of op() within a wall-clock budget —
+// after one warmup batch that faults storage in and trains branch
+// predictors — and reports (ns/op of the fastest batch, total ops): the
+// usual best-of discipline for latency microbenchmarks, where the
+// minimum is the run least disturbed by the host. One measurement
+// discipline shared by the raw and go-native sweeps, so the rendered
+// adapter-overhead ratio can never be skewed by the two drifting apart.
+func bestBatchLatency(budget time.Duration, op func()) (nsPerOp float64, total uint64) {
 	const batch = 20000
-	// Warmup: faults the node storage in and trains branch predictors.
 	for i := 0; i < batch; i++ {
-		l.Lock(th)
-		l.Unlock(th)
+		op()
 	}
 	best := time.Duration(1<<63 - 1)
-	var total uint64
 	deadline := time.Now().Add(budget)
 	for time.Now().Before(deadline) {
 		start := time.Now()
 		for i := 0; i < batch; i++ {
-			l.Lock(th)
-			l.Unlock(th)
+			op()
 		}
 		if d := time.Since(start); d < best {
 			best = d
 		}
 		total += batch
 	}
-	ns := float64(best.Nanoseconds()) / batch
+	return float64(best.Nanoseconds()) / batch, total
+}
+
+// latencyResult wraps a bestBatchLatency measurement in the Result
+// shape both uncontended sweeps share (single thread: trivially fair,
+// see stats.FairnessFactor).
+func latencyResult(workload string, spec lockreg.Spec, ns float64, total uint64) harness.Result {
 	return harness.Result{
-		Name:       "uncontended/" + spec.Name,
+		Name:       workload + "/" + spec.Name,
 		Lock:       spec.Name,
-		Workload:   "uncontended",
+		Workload:   workload,
 		WaitPolicy: spec.Wait,
 		Threads:    1,
 		NsPerOp:    ns,
 		Throughput: 1000 / ns, // ops per microsecond
-		Fairness:   0.5,       // single thread: trivially fair (see stats.FairnessFactor)
+		Fairness:   0.5,
 		TotalOps:   total,
+	}
+}
+
+// uncontendedLatency measures one lock's raw *Thread acquire/release
+// pair.
+func uncontendedLatency(spec lockreg.Spec, env lockreg.Env, budget time.Duration) harness.Result {
+	l := spec.Build(env)
+	th := locks.NewThread(0, 0)
+	ns, total := bestBatchLatency(budget, func() {
+		l.Lock(th)
+		l.Unlock(th)
+	})
+	return latencyResult("uncontended", spec, ns, total)
+}
+
+// nativeUncontendedLatency is uncontendedLatency through the
+// goroutine-native adapter: the same discipline, with each op paying
+// the adapter's full slot claim/release on top of the lock protocol.
+// The one-slot pool makes the claim a guaranteed stripe hit, i.e. this
+// measures the adapter's floor, the number the 2x acceptance bound in
+// the issue tracker gates on.
+func nativeUncontendedLatency(spec lockreg.Spec, env lockreg.Env, budget time.Duration) harness.Result {
+	e := env
+	e.MaxThreads = 1
+	l := gonative.Wrap(spec, e)
+	ns, total := bestBatchLatency(budget, func() {
+		l.Lock()
+		l.Unlock()
+	})
+	return latencyResult("go-native", spec, ns, total)
+}
+
+// nativeSpinWorkload is the spin workload (shared counter under the
+// lock) in goroutine-native form: the op function closes over the
+// adapter alone, exactly like application code holding a sync.Mutex.
+func nativeSpinWorkload(spec lockreg.Spec, env lockreg.Env) harness.NativeWorkload {
+	return func(threads int) func(int) {
+		e := env
+		e.MaxThreads = threads
+		m := gonative.Wrap(spec, e)
+		var counter uint64
+		return func(op int) {
+			m.Lock()
+			counter++
+			m.Unlock()
+		}
 	}
 }
 

@@ -1,7 +1,7 @@
 // kvstore: the paper's Section 7.1.1 scenario as an application — a
 // key-value map (AVL tree) under one lock, hammered by a mixed workload,
-// comparing MCS and CNA end to end and printing throughput plus the
-// paper's fairness factor.
+// comparing sync.Mutex ("std"), MCS and CNA end to end and printing
+// throughput plus the paper's fairness factor.
 //
 // Run with: go run ./examples/kvstore
 package main
@@ -33,9 +33,10 @@ func main() {
 	}
 
 	// Any name from repro.LockNames() works here — the registry makes
-	// adding a third algorithm to this comparison a one-word change.
+	// adding another algorithm to this comparison a one-word change;
+	// "std" is the registered sync.Mutex baseline.
 	var results []harness.Result
-	for _, name := range []string{"MCS", "CNA"} {
+	for _, name := range []string{"std", "MCS", "CNA"} {
 		results = append(results, harness.Sweep(harness.Config{
 			Name:     "kv/" + name,
 			Topo:     topo,

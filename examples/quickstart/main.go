@@ -1,4 +1,10 @@
-// Quickstart: protect a shared counter with a CNA lock.
+// Quickstart: use a CNA lock exactly like a sync.Mutex.
+//
+// repro.NewMutex returns any registered lock in goroutine-native form —
+// a sync.Locker with TryLock, no per-worker Thread values to manage.
+// Swapping "cna" for "std" (sync.Mutex), "mcs-park", or any name from
+// repro.LockNames() is a one-string change; the explicit-Thread API
+// (repro.Build) remains for code that manages worker identities itself.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -14,38 +20,42 @@ func main() {
 	const workers = 8
 	const itersPerWorker = 10000
 
-	// A Thread carries a worker's identity: a dense id and the NUMA
-	// socket it runs on. Here we pretend workers alternate between two
-	// sockets, like unpinned threads on a 2-socket box.
-	topo := repro.TwoSocketXeonE5()
+	// Drop-in construction: no Env, no Threads — the adapter claims a
+	// pooled thread identity per acquisition behind the scenes. Prefer
+	// the "-park" variants ("cna-park") when goroutines can outnumber
+	// processors for long stretches.
+	lock := repro.MustNewMutex("cna")
 
-	// Build the lock by name through the registry — any algorithm from
-	// repro.LockNames() slots in here; names are case-insensitive.
-	// Statistics are opt-in (they cost a few counter writes per
-	// acquisition), and this example prints them, so ask for them.
-	env := repro.Env{MaxThreads: workers, Topology: topo}
-	lock := repro.MustBuild("cna", env, repro.WithStats(true)).(*repro.CNA)
+	// The compiler holds us to the drop-in claim.
+	var _ sync.Locker = lock
 
 	counter := 0
+	skipped := 0
+	var mu sync.Mutex // guards skipped only
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			th := repro.NewThread(w, topo.SocketOf(w))
 			for i := 0; i < itersPerWorker; i++ {
-				lock.Lock(th)
+				lock.Lock()
 				counter++
-				lock.Unlock(th)
+				lock.Unlock()
 			}
-		}(w)
+			// TryLock is the non-blocking probe: it never queues, so a
+			// busy lock just means "do something else".
+			if lock.TryLock() {
+				counter += 0 // critical section would go here
+				lock.Unlock()
+			} else {
+				mu.Lock()
+				skipped++
+				mu.Unlock()
+			}
+		}()
 	}
 	wg.Wait()
 
-	fmt.Printf("counter = %d (want %d)\n", counter, workers*itersPerWorker)
-	local, remote := lock.Stats().Handover.Counts()
-	fmt.Printf("lock handovers: %d local, %d remote (%.1f%% remote)\n",
-		local, remote, lock.Stats().Handover.RemoteFraction()*100)
-	fmt.Printf("secondary-queue moves: %d, flushes: %d\n",
-		lock.Stats().SecondaryMoves, lock.Stats().Flushes)
+	fmt.Printf("%s: counter = %d (want %d)\n", lock.Name(), counter, workers*itersPerWorker)
+	fmt.Printf("TryLock probes skipped on contention: %d of %d\n", skipped, workers)
 }

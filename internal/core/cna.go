@@ -295,6 +295,26 @@ func (l *Lock) Lock(t *locks.Thread) {
 	l.lockNode(me, t)
 }
 
+// TryLock implements locks.Mutex: one CAS on the empty tail — the
+// composed fast path Fissile Locks put in front of queue machinery. A
+// success is exactly the uncontended Lock path (socket stays -1, which
+// tells unlockNode the secondary queue is empty and the spin word was
+// never written); a failure publishes nothing, touches no waiter state
+// and returns the nesting slot.
+func (l *Lock) TryLock(t *locks.Thread) bool {
+	me := (*Node)(unsafe.Add(l.arena.base(t), uintptr(t.AcquireSlot())*nodeBytes))
+	me.clearNext()
+	me.socket = -1
+	if l.tail.CompareAndSwap(nil, me) {
+		if st := l.stats; st != nil {
+			st.Handover.Record(t.Socket)
+		}
+		return true
+	}
+	t.ReleaseSlot()
+	return false
+}
+
 // Unlock releases the lock for t (Figure 4 of the paper).
 func (l *Lock) Unlock(t *locks.Thread) {
 	me := (*Node)(unsafe.Add(l.arena.base(t), uintptr(t.ReleaseSlot())*nodeBytes))

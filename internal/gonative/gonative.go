@@ -1,0 +1,386 @@
+// Package gonative makes every registered lock usable from plain Go
+// code: New("cna") returns a locks.NativeMutex — a sync.Locker with
+// TryLock — with no *locks.Thread in sight, so a CNA (or MCS, or
+// cohort, ...) lock can replace a sync.Mutex field one line at a time.
+//
+// The explicit-thread API exists because queue locks need a stable
+// identity: a dense id locating preallocated queue nodes, a NUMA
+// socket, a nesting counter. Goroutines have none of that — they
+// migrate freely between OS threads and expose no usable id — so the
+// adapter supplies identity per acquisition instead of per worker:
+// Lock claims a *locks.Thread from a striped freelist of preallocated
+// slots, runs the real lock's protocol on it, and remembers it in the
+// (held) mutex; Unlock releases the inner lock on that thread and
+// returns the slot. Compact Java Monitors (Dice & Kogan 2021) hides
+// thread identity behind the lock the same way to make CNA a drop-in
+// replacement for synchronized blocks.
+//
+// # The slot pool
+//
+// Slots live in per-socket stripes (socket-aware via numa.Placement
+// when the Env carries a topology; the default topology round-robins
+// workers across its sockets, which degrades to plain round-robin
+// striping). A claim starts at the stripe hinted by the goroutine's
+// stack address — cheap, goroutine-correlated, and stable enough that
+// repeat acquisitions from the same goroutine reuse the same recently
+// freed slot, keeping its queue-node cache lines hot — and falls over
+// to the other stripes when the hinted one is empty. Freed slots are
+// pushed LIFO onto their home stripe for the same reason. Each stripe
+// is guarded by a tiny test-and-set latch around three instructions;
+// an atomic head peek skips empty stripes without taking it. On top of
+// the pool, each private-pool adapter keeps a one-slot reclaim cache:
+// Unlock parks its slot in the mutex with one CAS and the next Lock
+// swaps it out with one exchange, so the steady-state adapter cost is
+// two atomic RMWs per lock/unlock pair (slot-starved claims poll the
+// cache alongside the stripes, so a cached slot never strands a
+// waiter). The contended path allocates nothing.
+//
+// When every slot is claimed, Lock waits (bounded spin, then scheduler
+// yields) for an Unlock to free one — the adapter never hands out more
+// concurrent identities than the inner lock was built for, so queue
+// nodes can never be corrupted by over-admission; the wait shows up as
+// ordinary lock latency. TryLock instead fails cleanly when no slot is
+// free, mirroring its never-blocks contract. Lock-nesting depth
+// exhaustion cannot arise through the adapter at all: every
+// acquisition claims a fresh slot at depth 0 (enforced with a clear
+// panic rather than node corruption if the invariant is ever broken).
+package gonative
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/lockreg"
+	"repro/internal/locks"
+	"repro/internal/numa"
+	"repro/internal/spinwait"
+)
+
+// slot is one pool entry: a preallocated Thread plus its freelist link.
+// The link is guarded by the home stripe's latch.
+type slot struct {
+	th     *locks.Thread
+	stripe int32
+	next   *slot
+}
+
+// stripe is one freelist shard, padded to its own cache line so
+// neighbouring stripes' latches and heads do not false-share.
+type stripe struct {
+	latch atomic.Uint32
+	head  atomic.Pointer[slot]
+	_     [5]uint64
+}
+
+// lock acquires the stripe latch. The critical sections under it are a
+// handful of instructions, so contention resolves in the spinner's
+// cheap first phase; the spinner still escalates to scheduler yields,
+// keeping the pool live at GOMAXPROCS=1.
+func (s *stripe) lock() {
+	var w spinwait.Spinner
+	for s.latch.Swap(1) != 0 {
+		w.Pause()
+	}
+}
+
+func (s *stripe) unlock() { s.latch.Store(0) }
+
+// pop removes the most recently freed slot, or returns nil. The
+// latch-free head peek keeps scanning past empty stripes cheap.
+func (s *stripe) pop() *slot {
+	if s.head.Load() == nil {
+		return nil
+	}
+	s.lock()
+	sl := s.head.Load()
+	if sl != nil {
+		s.head.Store(sl.next)
+	}
+	s.unlock()
+	return sl
+}
+
+// push returns a slot to the stripe, LIFO so its node cache stays hot.
+func (s *stripe) push(sl *slot) {
+	s.lock()
+	sl.next = s.head.Load()
+	s.head.Store(sl)
+	s.unlock()
+}
+
+// Pool is a striped freelist of preallocated *locks.Thread slots shared
+// by the acquisitions of one adapted lock (or of many, when adapters
+// are built over one pool via WrapWithPool — a thread occupies at most
+// one slot per acquisition regardless of which lock it is for).
+type Pool struct {
+	stripes []stripe
+	slots   []slot
+}
+
+// NewPool preallocates capacity Thread slots striped across the
+// topology's sockets. Capacities below 1 are raised to 1.
+func NewPool(capacity int, topo numa.Topology) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if topo.Validate() != nil {
+		topo = numa.TwoSocketXeonE5()
+	}
+	place := numa.NewPlacement(topo, capacity, numa.Spread)
+	p := &Pool{
+		stripes: make([]stripe, topo.Sockets),
+		slots:   make([]slot, capacity),
+	}
+	// Push in reverse so low thread IDs end up on top of each stripe's
+	// LIFO — the IDs whose queue nodes sit at the front of node arrays.
+	for i := capacity - 1; i >= 0; i-- {
+		socket := place.SocketOf(i)
+		sl := &p.slots[i]
+		sl.th = locks.NewThread(i, socket)
+		sl.stripe = int32(socket)
+		p.stripes[socket].push(sl)
+	}
+	return p
+}
+
+// stripeHint derives a cheap goroutine-correlated stripe index from the
+// goroutine's stack address: stacks are goroutine-private and mostly
+// stable, so one goroutine keeps hitting one stripe (and, LIFO, often
+// the very slot it just released) without any shared counter to
+// contend on. Only the hint quality depends on this — any value is
+// correct.
+func stripeHint() uintptr {
+	var probe byte
+	return uintptr(unsafe.Pointer(&probe)) >> 10
+}
+
+// tryClaim pops a free Thread slot: one pass over the stripes, nil
+// when every slot is busy (the adapter's claim loop and TryLock both
+// build on this; TryLock must not block, not even on slots).
+func (p *Pool) tryClaim() *locks.Thread {
+	h := int(stripeHint())
+	n := len(p.stripes)
+	for i := 0; i < n; i++ {
+		if sl := p.stripes[(h+i)%n].pop(); sl != nil {
+			return sl.th
+		}
+	}
+	return nil
+}
+
+// release returns a claimed Thread to its home stripe.
+func (p *Pool) release(th *locks.Thread) {
+	sl := &p.slots[th.ID]
+	p.stripes[sl.stripe].push(sl)
+}
+
+// Capacity reports the number of preallocated slots.
+func (p *Pool) Capacity() int { return len(p.slots) }
+
+// Free counts currently free slots (taking each stripe latch), for the
+// leak checks in tests: after quiescence Free must equal Capacity.
+func (p *Pool) Free() int {
+	total := 0
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.lock()
+		for sl := s.head.Load(); sl != nil; sl = sl.next {
+			total++
+		}
+		s.unlock()
+	}
+	return total
+}
+
+// noCopy makes `go vet`'s copylocks analysis flag any copy of the
+// embedding struct (the same device sync.noCopy uses): a copied Mutex
+// would alias the holder field and the inner lock's queue state.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
+// Mutex adapts a registered lock to the goroutine-native contract. The
+// zero value is not usable; build one with New (or Wrap). A Mutex must
+// not be copied after first use (go vet's copylocks check enforces
+// this via the embedded noCopy).
+type Mutex struct {
+	noCopy noCopy
+	inner  locks.Mutex
+	pool   *Pool
+	// cache is a one-slot reclaim fast path: Unlock parks its slot here
+	// (one CAS) and the next Lock swaps it out (one exchange) instead of
+	// both taking a stripe latch — the steady-state adapter cost is two
+	// atomic RMWs per lock/unlock pair, which is what keeps go-native
+	// CNA within 2x of the raw *Thread path. Slot-starved Lock calls
+	// poll the cache alongside the pool, so a cached slot can never
+	// strand a waiter. Disabled (shared=true) for adapters over a shared
+	// pool, where a slot parked in an idle adapter would steal capacity
+	// from its siblings.
+	cache  atomic.Pointer[locks.Thread]
+	shared bool
+	// holder is the Thread the current acquisition claimed, handed from
+	// Lock to Unlock through the mutex itself. It is a plain field: it
+	// is written only after the inner lock is acquired and read only
+	// before it is released, so accesses from successive critical
+	// sections are ordered by the lock's own handover — and, as with
+	// sync.Mutex, handing one critical section between goroutines
+	// requires the caller's own synchronization.
+	holder *locks.Thread
+}
+
+// claim obtains a thread slot: the reclaim cache first, then the pool,
+// then a bounded-spin wait polling both (an Unlock must eventually
+// publish a slot to one of them).
+func (m *Mutex) claim() *locks.Thread {
+	if th := m.cache.Swap(nil); th != nil {
+		return th
+	}
+	if th := m.pool.tryClaim(); th != nil {
+		return th
+	}
+	var w spinwait.Spinner
+	for {
+		w.Pause()
+		if th := m.cache.Swap(nil); th != nil {
+			return th
+		}
+		if th := m.pool.tryClaim(); th != nil {
+			return th
+		}
+	}
+}
+
+// put returns a slot: to the empty reclaim cache when allowed, else to
+// the pool.
+func (m *Mutex) put(th *locks.Thread) {
+	if !m.shared && m.cache.CompareAndSwap(nil, th) {
+		return
+	}
+	m.pool.release(th)
+}
+
+// Lock implements locks.NativeMutex (and sync.Locker): claim a thread
+// slot, run the real acquisition on it.
+func (m *Mutex) Lock() {
+	th := m.claim()
+	if th.Depth() != 0 {
+		panic(fmt.Sprintf("gonative: pooled thread %d claimed at nesting depth %d", th.ID, th.Depth()))
+	}
+	m.inner.Lock(th)
+	m.holder = th
+}
+
+// TryLock implements locks.NativeMutex: non-blocking at both levels —
+// it fails cleanly when no thread slot is free, and otherwise runs the
+// inner lock's TryLock, which never queues (and never touches waiter
+// state; see waiter.TryPolicy).
+func (m *Mutex) TryLock() bool {
+	th := m.cache.Swap(nil)
+	if th == nil {
+		if th = m.pool.tryClaim(); th == nil {
+			return false
+		}
+	}
+	if !m.inner.TryLock(th) {
+		m.put(th)
+		return false
+	}
+	m.holder = th
+	return true
+}
+
+// Unlock implements locks.NativeMutex: release the inner lock on the
+// claiming thread, then return the slot (in that order — the thread's
+// queue node is in use until the release completes).
+func (m *Mutex) Unlock() {
+	th := m.holder
+	if th == nil {
+		panic("gonative: Unlock of an unlocked " + m.inner.Name())
+	}
+	m.holder = nil
+	m.inner.Unlock(th)
+	m.put(th)
+}
+
+// Name implements locks.NativeMutex: the inner lock's registry name.
+func (m *Mutex) Name() string { return m.inner.Name() }
+
+// Inner exposes the adapted lock, e.g. to read CNA statistics after a
+// WithStats build. The *Thread API must not be driven through it while
+// the adapter is in use.
+func (m *Mutex) Inner() locks.Mutex { return m.inner }
+
+// PoolStats reports (free, capacity) of the adapter's slot pool; a slot
+// parked in the reclaim cache counts as free (it is claimable by any
+// Lock on this adapter).
+func (m *Mutex) PoolStats() (free, capacity int) {
+	free = m.pool.Free()
+	if m.cache.Load() != nil {
+		free++
+	}
+	return free, m.pool.Capacity()
+}
+
+// DefaultCapacity is the slot-pool size New uses when the Env carries
+// no thread bound: enough concurrent acquisitions to oversubscribe
+// every processor severalfold before Lock ever waits for a slot.
+func DefaultCapacity() int {
+	c := 4 * runtime.GOMAXPROCS(0)
+	if c < 8 {
+		c = 8
+	}
+	return c
+}
+
+// New builds the named registered lock in goroutine-native form: the
+// algorithm's own native build when the Spec has one (the stdlib
+// baselines), otherwise the Spec's lock wrapped in the slot-pool
+// adapter. A zero env.MaxThreads sizes the pool at DefaultCapacity —
+// unlike the raw Build path, where it means one thread, the native
+// adapter cannot know its caller count up front.
+func New(name string, env lockreg.Env, opts ...lockreg.Option) (locks.NativeMutex, error) {
+	spec, ok := lockreg.Lookup(name)
+	if !ok {
+		return nil, lockreg.UnknownLockError(name)
+	}
+	return Wrap(spec, env, opts...), nil
+}
+
+// MustNew is New for statically known names; it panics on unknown ones.
+func MustNew(name string, env lockreg.Env, opts ...lockreg.Option) locks.NativeMutex {
+	m, err := New(name, env, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Wrap builds spec in goroutine-native form (see New) with a private
+// slot pool (and the one-slot reclaim cache enabled — the pool is not
+// shared, so a parked slot steals capacity from nobody).
+func Wrap(spec lockreg.Spec, env lockreg.Env, opts ...lockreg.Option) locks.NativeMutex {
+	if spec.Native != nil {
+		return spec.Native(env, opts...)
+	}
+	if env.MaxThreads < 1 {
+		env.MaxThreads = DefaultCapacity()
+	}
+	return &Mutex{inner: spec.Build(env, opts...), pool: NewPool(env.MaxThreads, env.Topology)}
+}
+
+// WrapWithPool builds spec's lock over an existing slot pool, so many
+// adapted locks can share one set of thread identities (the pool
+// analogue of a shared CNA Arena; the env's MaxThreads must not exceed
+// the pool's capacity, or thread IDs would run past the lock's node
+// storage).
+func WrapWithPool(spec lockreg.Spec, env lockreg.Env, pool *Pool, opts ...lockreg.Option) *Mutex {
+	if env.MaxThreads < pool.Capacity() {
+		env.MaxThreads = pool.Capacity()
+	}
+	return &Mutex{inner: spec.Build(env, opts...), pool: pool, shared: true}
+}
+
+var _ locks.NativeMutex = (*Mutex)(nil)

@@ -32,6 +32,22 @@ import (
 // independent.
 type Workload func(threads int) func(t *locks.Thread, op int)
 
+// NativeWorkload is a Workload whose operations need no *locks.Thread —
+// the go-native benchmark mode, where workers drive a goroutine-native
+// adapter (repro.NewMutex) exactly the way plain Go code would drive a
+// sync.Mutex. Threaded converts it for Run; the harness-made Thread is
+// simply ignored, so the measured loop is identical apart from the
+// workload's own locking style.
+type NativeWorkload func(threads int) func(op int)
+
+// Threaded adapts the native workload to the harness's Workload shape.
+func (w NativeWorkload) Threaded() Workload {
+	return func(threads int) func(*locks.Thread, int) {
+		op := w(threads)
+		return func(_ *locks.Thread, i int) { op(i) }
+	}
+}
+
 // Config describes a benchmark run.
 type Config struct {
 	// Name labels the run in reports.

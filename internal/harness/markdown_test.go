@@ -18,6 +18,8 @@ func testReport() Report {
 			P50Ns: 72, P95Ns: 160, P99Ns: 640, LatencySamples: 1000},
 		{Name: "contended/lockref/t2/MCS", Lock: "MCS", Workload: "lockref", Threads: 2,
 			Throughput: 8.8, Fairness: 0.5}, // no latency samples: em-dash cells
+		{Name: "go-native/MCS", Lock: "MCS", Workload: "go-native", Threads: 1,
+			NsPerOp: 46.2, Throughput: 21.6, Fairness: 0.5},
 	})
 	rep.Regressions = []Regression{
 		{Name: "contended/spin/t2/MCS", OldOpsPerUs: 20, NewOpsPerUs: 12.5, DeltaPct: -37.5},
@@ -40,6 +42,8 @@ func TestWriteMarkdown(t *testing.T) {
 		"repro-bench/v2",
 		"## Uncontended acquire/release latency",
 		"| MCS | 23.1 | 43.300 |",
+		"## Adapter overhead (go-native vs raw *Thread)",
+		"| MCS | 23.1 | 46.2 | 2.00 |",
 		"### Workload `spin`",
 		"shared-counter spin",
 		"Section 7.1.1",

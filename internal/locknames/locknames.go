@@ -26,6 +26,17 @@ const (
 	CNAOpt  = "CNA-opt"
 )
 
+// Stdlib baseline names: the Go runtime's own mutexes, registered so
+// every sweep compares the paper's locks against what plain Go code
+// ships with. They are lower-case on purpose — they are not algorithms
+// from the literature but the ambient runtime baseline.
+const (
+	// Std is sync.Mutex.
+	Std = "std"
+	// StdRW is a write-locked sync.RWMutex.
+	StdRW = "std-rw"
+)
+
 // Waiting-policy name suffixes appended to a lock's canonical name when
 // it is built with a non-default waiter policy (see internal/waiter):
 // "MCS" + ParkSuffix is the registered spin-then-park variant of MCS.

@@ -13,6 +13,7 @@ package lockreg
 //     remote (the statistic the paper's locality arguments rest on).
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -143,6 +144,76 @@ func TestConformanceLIFONesting(t *testing.T) {
 			wg.Wait()
 			if want := workers * iters; c1 != want || c2 != want {
 				t.Fatalf("%s: nested counters = %d/%d, want %d", spec.Name, c1, c2, want)
+			}
+		})
+	}
+}
+
+// TestConformanceTryLock pins the TryLock contract on every registered
+// lock (all five layers: flat locks, queue locks, cohort, HMCS, CNA):
+// success on a free lock, failure — without blocking, queueing or
+// consuming a nesting slot — on a held one, success again after
+// release, and mutual exclusion when TryLock winners race Lock callers.
+func TestConformanceTryLock(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 4
+			m := spec.Build(testEnv(workers))
+			ths := confThreads(workers)
+
+			if !m.TryLock(ths[0]) {
+				t.Fatalf("%s: TryLock failed on a free lock", spec.Name)
+			}
+			// A held lock: TryLock from other threads (on both sockets)
+			// must fail synchronously and leave no nesting slot claimed.
+			for _, th := range ths[1:] {
+				if m.TryLock(th) {
+					t.Fatalf("%s: TryLock succeeded on a held lock", spec.Name)
+				}
+				if d := th.Depth(); d != 0 {
+					t.Fatalf("%s: failed TryLock left nesting depth %d", spec.Name, d)
+				}
+			}
+			m.Unlock(ths[0])
+			if !m.TryLock(ths[1]) {
+				t.Fatalf("%s: TryLock failed after Unlock", spec.Name)
+			}
+			m.Unlock(ths[1])
+
+			// Mixed hammer: alternating Lock and TryLock acquirers must
+			// compose to mutual exclusion with no lost updates.
+			iters := confIters(t) / 2
+			var counter int
+			var inside atomic.Int32
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := ths[w]
+					for i := 0; i < iters; i++ {
+						if w%2 == 0 {
+							m.Lock(th)
+						} else {
+							for !m.TryLock(th) {
+								runtime.Gosched()
+							}
+						}
+						if inside.Add(1) != 1 {
+							t.Errorf("%s: two threads inside the critical section", spec.Name)
+						}
+						counter++
+						inside.Add(-1)
+						m.Unlock(th)
+					}
+				}(w)
+			}
+			wg.Wait()
+			if counter != workers*iters {
+				t.Fatalf("%s: counter = %d, want %d (mutual exclusion violated)",
+					spec.Name, counter, workers*iters)
 			}
 		})
 	}

@@ -62,6 +62,14 @@ const (
 	NameCNAOpt  = locknames.CNAOpt
 )
 
+// Stdlib baselines: the Go runtime's own mutexes as registry citizens,
+// so sweeps and conformance runs compare against sync.Mutex out of the
+// box.
+const (
+	NameStd   = locknames.Std
+	NameStdRW = locknames.StdRW
+)
+
 // Spin-then-park variants of the queue locks with a well-defined waker
 // (see registerParkVariants): the same algorithms built with
 // waiter.SpinThenPark{}, under the base name plus locknames.ParkSuffix.
@@ -129,11 +137,21 @@ type Spec struct {
 	NUMAAware bool
 	// Wait is the canonical name of the waiting policy the Spec builds
 	// with ("spin" for every base algorithm; "spin-park" for the
-	// registered *-park variants). Reports carry it as the wait_policy
-	// field so spin-vs-park curves can be grouped without parsing names.
+	// registered *-park variants; "runtime" for the stdlib baselines,
+	// whose waiting the Go runtime owns). Reports carry it as the
+	// wait_policy field so spin-vs-park curves can be grouped without
+	// parsing names.
 	Wait string
 	// Build constructs a lock instance for the given environment.
 	Build func(Env, ...Option) locks.Mutex
+	// Native, when set, builds the algorithm's own goroutine-native form
+	// directly — only the stdlib baselines have one (sync.Mutex needs no
+	// thread slots). When nil, the goroutine-native path
+	// (internal/gonative, repro.NewMutex) wraps Build's lock in the
+	// thread-slot adapter instead. Kept as a Spec field so "how do I get
+	// this lock as a sync.Locker" is answered by the registry, not by
+	// callers special-casing names.
+	Native func(Env, ...Option) locks.NativeMutex
 }
 
 // registry holds Specs in registration order (the order All and Names
@@ -236,14 +254,16 @@ func Lookup(name string) (Spec, bool) {
 func Build(name string, env Env, opts ...Option) (locks.Mutex, error) {
 	spec, ok := Lookup(name)
 	if !ok {
-		return nil, unknownNameError(name)
+		return nil, UnknownLockError(name)
 	}
 	return spec.Build(env, opts...), nil
 }
 
-// unknownNameError lists every registered spelling alongside the
-// offending one.
-func unknownNameError(name string) error {
+// UnknownLockError is the error for an unresolvable lock name; it lists
+// every registered spelling alongside the offending one. Exported so
+// the goroutine-native builder (internal/gonative) reports unknown
+// names identically to Build.
+func UnknownLockError(name string) error {
 	sorted := Names()
 	sort.Strings(sorted)
 	return fmt.Errorf("lockreg: unknown lock %q (known: %s)", name, strings.Join(sorted, ", "))
@@ -261,11 +281,22 @@ func Resolve(list string) ([]Spec, error) {
 	for _, name := range strings.Split(list, ",") {
 		spec, ok := Lookup(name)
 		if !ok {
-			return nil, unknownNameError(name)
+			return nil, UnknownLockError(name)
 		}
 		specs = append(specs, spec)
 	}
 	return specs, nil
+}
+
+// MustSpec resolves a (case-insensitive) name or alias to its Spec,
+// panicking on unknown names — for tests and static call sites that
+// need the Spec itself rather than a built lock.
+func MustSpec(name string) Spec {
+	spec, ok := Lookup(name)
+	if !ok {
+		panic(UnknownLockError(name))
+	}
+	return spec
 }
 
 // MustBuild is Build for callers with static names (examples, tests).
@@ -421,6 +452,38 @@ func init() {
 	registerParkVariants(
 		NameMCS, NameCLH, NameMCSCR, NameCBOMCS, NameHMCS, NameCNA, NameCNAOpt,
 	)
+
+	// Stdlib baselines, last so the paper's algorithms keep their
+	// registration-order positions in sweeps. Wait is "runtime": the Go
+	// scheduler owns their waiting (they spin briefly, then park on the
+	// runtime's semaphores — the policy spectrum the waiter package
+	// models is built in). Their Native builders return sync primitives
+	// directly, so the goroutine-native path pays no adapter at all —
+	// the honest baseline for adapter-overhead measurements.
+	Register(Spec{
+		Name:        NameStd,
+		Aliases:     []string{"sync-mutex", "stdlib"},
+		Description: "sync.Mutex: the Go runtime's own mutex, the drop-in baseline",
+		Wait:        "runtime",
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			return locks.NewStd()
+		},
+		Native: func(env Env, opts ...Option) locks.NativeMutex {
+			return locks.NewStdNative()
+		},
+	})
+	Register(Spec{
+		Name:        NameStdRW,
+		Aliases:     []string{"sync-rwmutex", "stdlib-rw"},
+		Description: "write-locked sync.RWMutex: the RWMutex used as a plain mutex",
+		Wait:        "runtime",
+		Build: func(env Env, opts ...Option) locks.Mutex {
+			return locks.NewStdRW()
+		},
+		Native: func(env Env, opts ...Option) locks.NativeMutex {
+			return locks.NewStdRWNative()
+		},
+	})
 }
 
 // registerParkVariants derives a "<base>-park" Spec for each named base

@@ -11,7 +11,7 @@ import (
 
 // wantNames is the full algorithm set the registry must cover, in
 // registration order: the base algorithms, then the derived
-// spin-then-park variants.
+// spin-then-park variants, then the stdlib baselines.
 var wantNames = []string{
 	NameTAS, NameTTAS, NameBOTAS, NameTicket, NamePTL,
 	NameMCS, NameCLH, NameHBO, NameMCSCR,
@@ -19,6 +19,7 @@ var wantNames = []string{
 	NameCNA, NameCNAOpt,
 	NameMCSPark, NameCLHPark, NameMCSCRPark,
 	NameCBOMCSPark, NameHMCSPark, NameCNAPark, NameCNAOptPark,
+	NameStd, NameStdRW,
 }
 
 func TestNamesCoverEveryAlgorithm(t *testing.T) {

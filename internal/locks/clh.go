@@ -14,15 +14,12 @@ import (
 type clhNode struct {
 	// locked is true while the owner holds or waits for the lock.
 	locked atomic.Bool
-	wait   waiter.State
-	ready  func() bool // true when locked has been cleared
-	_      [3]uint64   // pad to one 64-byte cache line
-}
-
-func newCLHNode() *clhNode {
-	n := &clhNode{}
-	n.ready = func() bool { return !n.locked.Load() }
-	return n
+	// idx is the node's fixed position in the lock's node table — the
+	// identity the versioned tail word carries (see CLH.tail).
+	idx   uint32
+	wait  waiter.State
+	ready func() bool // true when locked has been cleared
+	_     [3]uint64   // pad to one 64-byte cache line
 }
 
 // clhSlot is one nesting level's node state for one thread.
@@ -35,23 +32,54 @@ type clhSlot struct {
 // spin queue lock (the HCLH lock of Luchangco et al. builds its hierarchy
 // from it). Waiters spin on their predecessor's node rather than their
 // own.
+//
+// The tail is a versioned word — (version << 32) | node-index into the
+// lock's fixed node table — rather than a raw pointer. Lock still pays a
+// single atomic read-modify-write (a CAS loop degenerating to one CAS
+// when uncontended); the version exists for TryLock: CLH nodes rotate
+// owners, so a released tail node can be adopted, recycled and
+// re-enqueued (now locked) between a TryLock's freeness check and its
+// CAS — a classic ABA that a version stamp on every tail mutation makes
+// detectable. A successful TryLock CAS therefore proves the tail (and
+// the predecessor's era) never changed since the check.
 type CLH struct {
-	tail  atomic.Pointer[clhNode]
+	tail  atomic.Uint64
 	wait  waiter.Policy
+	nodes []*clhNode // index → node, fixed at construction
 	slots [][MaxNesting]clhSlot
 }
 
 // NewCLH returns a CLH lock usable by threads with IDs below maxThreads.
 func NewCLH(maxThreads int) *CLH {
 	l := &CLH{slots: make([][MaxNesting]clhSlot, maxThreads), wait: waiter.Default}
+	newNode := func() *clhNode {
+		n := &clhNode{idx: uint32(len(l.nodes))}
+		n.ready = func() bool { return !n.locked.Load() }
+		l.nodes = append(l.nodes, n)
+		return n
+	}
+	// The queue starts with a released sentinel node (index 0) as the
+	// tail.
+	sentinel := newNode()
+	l.tail.Store(uint64(sentinel.idx))
 	for i := range l.slots {
 		for j := range l.slots[i] {
-			l.slots[i][j].mine = newCLHNode()
+			l.slots[i][j].mine = newNode()
 		}
 	}
-	// The queue starts with a released sentinel node as the tail.
-	l.tail.Store(newCLHNode())
 	return l
+}
+
+// swapTail installs idx as the new tail and returns the previous tail's
+// node, bumping the version stamp. Uncontended this is one CAS.
+func (l *CLH) swapTail(idx uint32) *clhNode {
+	for {
+		old := l.tail.Load()
+		nv := (old>>32+1)<<32 | uint64(idx)
+		if l.tail.CompareAndSwap(old, nv) {
+			return l.nodes[uint32(old)]
+		}
+	}
 }
 
 // SetWait implements waiter.Setter. Call before the lock is shared.
@@ -62,13 +90,37 @@ func (l *CLH) Lock(t *Thread) {
 	slot := &l.slots[t.ID][t.AcquireSlot()]
 	n := slot.mine
 	n.locked.Store(true)
-	pred := l.tail.Swap(n)
+	pred := l.swapTail(n.idx)
 	slot.pred = pred
 	if !pred.locked.Load() {
 		return // uncontended: predecessor already released; skip the policy
 	}
 	l.wait.Prepare(&pred.wait)
 	l.wait.Wait(&pred.wait, pred.ready)
+}
+
+// TryLock implements Mutex: enqueue behind the tail only when the tail
+// node is already released, i.e. the lock is free. The CAS doubles as
+// the ABA check (see CLH.tail): success proves no enqueue or recycle
+// intervened since the freeness read, so the post-CAS state is exactly
+// the uncontended Lock path's. On failure nothing was published and the
+// nesting slot is returned.
+func (l *CLH) TryLock(t *Thread) bool {
+	old := l.tail.Load()
+	pred := l.nodes[uint32(old)]
+	if pred.locked.Load() {
+		return false
+	}
+	slot := &l.slots[t.ID][t.AcquireSlot()]
+	n := slot.mine
+	n.locked.Store(true)
+	if !l.tail.CompareAndSwap(old, (old>>32+1)<<32|uint64(n.idx)) {
+		n.locked.Store(false) // never published; undo for the next attempt
+		t.ReleaseSlot()
+		return false
+	}
+	slot.pred = pred
+	return true
 }
 
 // Unlock releases the lock and adopts the predecessor's node for reuse.

@@ -28,6 +28,10 @@ import (
 // Global is a thread-oblivious lock usable as the top of the hierarchy.
 type Global interface {
 	Lock(t *locks.Thread)
+	// TryLock attempts one non-blocking acquisition (the composite
+	// TryLock path; every global here is a registry lock whose Mutex
+	// TryLock satisfies this).
+	TryLock(t *locks.Thread) bool
 	Unlock(t *locks.Thread)
 }
 
@@ -38,6 +42,10 @@ type Local interface {
 	// Lock acquires the local lock; the return value reports whether the
 	// previous holder passed global ownership to the caller.
 	Lock(t *locks.Thread, slot int) (globalPassed bool)
+	// TryLock attempts one non-blocking local acquisition. acquired
+	// reports success; globalPassed (meaningful only when acquired) says
+	// whether the previous holder passed global ownership along.
+	TryLock(t *locks.Thread, slot int) (acquired, globalPassed bool)
 	// Unlock releases the local lock. passGlobal tells the next local
 	// acquirer (which must exist if passGlobal is true) that it owns the
 	// global lock.
@@ -131,6 +139,39 @@ func (c *Lock) Lock(t *locks.Thread) {
 	if h := c.handover; h != nil {
 		h.Record(t.Socket)
 	}
+}
+
+// TryLock implements locks.Mutex on the composite: try the socket's
+// local lock, then — unless cohort passing already delivered global
+// ownership — try the global. When the global try fails the local lock
+// is released again (an ordinary no-pass release: a waiter that arrived
+// meanwhile acquires the global itself), so a failed TryLock leaves no
+// queue presence behind at either level.
+func (c *Lock) TryLock(t *locks.Thread) bool {
+	if t.Socket < 0 || t.Socket >= c.sockets {
+		panic(fmt.Sprintf("cohort: thread socket %d outside [0,%d)", t.Socket, c.sockets))
+	}
+	slot := t.AcquireSlot()
+	acquired, passed := c.local[t.Socket].TryLock(t, slot)
+	if !acquired {
+		t.ReleaseSlot()
+		return false
+	}
+	if passed {
+		if h := c.handover; h != nil {
+			h.Record(t.Socket)
+		}
+		return true
+	}
+	if !c.global.TryLock(t) {
+		c.local[t.Socket].Unlock(t, slot, false)
+		t.ReleaseSlot()
+		return false
+	}
+	if h := c.handover; h != nil {
+		h.Record(t.Socket)
+	}
+	return true
 }
 
 // Unlock releases the composite lock.

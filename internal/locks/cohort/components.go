@@ -69,6 +69,20 @@ func (l *MCSLocal) Lock(t *locks.Thread, slot int) bool {
 	return n.status.Load() == mcsGotPass
 }
 
+// TryLock implements Local: one CAS on the empty local tail. Entering
+// an empty local queue can never receive a cohort pass (passing
+// requires a linked waiter), so globalPassed is always false on
+// success.
+func (l *MCSLocal) TryLock(t *locks.Thread, slot int) (acquired, globalPassed bool) {
+	n := &l.nodes[t.ID][slot]
+	n.next.Store(nil)
+	n.status.Store(mcsNoPass)
+	if l.tail.CompareAndSwap(nil, n) {
+		return true, false
+	}
+	return false, false
+}
+
 // Unlock implements Local.
 func (l *MCSLocal) Unlock(t *locks.Thread, slot int, passGlobal bool) {
 	n := &l.nodes[t.ID][slot]
@@ -127,6 +141,25 @@ func (l *TicketLocal) Lock(t *locks.Thread, slot int) bool {
 		l.wait.WaitGlobal(func() uint32 { return ticket - uint32(l.state.Load()) })
 	}
 	return l.passFlag.Load() != 0
+}
+
+// TryLock implements Local: claim a ticket only when it would be served
+// immediately (a CAS over the whole state word, as in locks.Ticket).
+// Unlike the empty-queue MCS case, an immediately served ticket can
+// carry a cohort pass: the previous holder may have set passFlag for a
+// waiter that timed out of existence — but passFlag=1 implies a waiter
+// existed at release time and consumed the grant, so a free lock always
+// has passFlag=0 and globalPassed is false in practice; it is read
+// anyway to keep the Local contract uniform.
+func (l *TicketLocal) TryLock(t *locks.Thread, slot int) (acquired, globalPassed bool) {
+	v := l.state.Load()
+	if uint32(v>>32) != uint32(v) {
+		return false, false
+	}
+	if !l.state.CompareAndSwap(v, v+1<<32) {
+		return false, false
+	}
+	return true, l.passFlag.Load() != 0
 }
 
 // Unlock implements Local.

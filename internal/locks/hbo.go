@@ -59,6 +59,11 @@ func (l *HBO) Lock(t *Thread) {
 	}
 }
 
+// TryLock implements Mutex: one CAS, no backoff.
+func (l *HBO) TryLock(t *Thread) bool {
+	return l.state.CompareAndSwap(0, uint32(t.Socket)+1)
+}
+
 // Unlock releases the lock.
 func (l *HBO) Unlock(t *Thread) { l.state.Store(0) }
 

@@ -144,6 +144,54 @@ func (l *HMCS) Lock(t *locks.Thread) {
 	}
 }
 
+// TryLock implements locks.Mutex: one CAS on the empty leaf tail, then
+// one CAS on the empty root tail. When the root is busy the leaf
+// enqueue is undone with a reverse CAS; if a successor already linked
+// in behind us (so the node cannot be unpublished), the successor is
+// promoted to socket representative with statusAcqPar — exactly the
+// handoff an exhausted-budget Unlock performs — and we leave having
+// never owned the lock. Either way a failed TryLock ends with no queue
+// presence and the nesting slot returned.
+func (l *HMCS) TryLock(t *locks.Thread) bool {
+	lf := l.leaves[t.Socket]
+	me := &l.nodes[t.ID][t.AcquireSlot()]
+	me.next.Store(nil)
+	me.status.Store(cohortStart)
+	if !lf.tail.CompareAndSwap(nil, me) {
+		t.ReleaseSlot()
+		return false
+	}
+	// We are the socket's representative; try the root with the leaf's
+	// embedded root node.
+	rn := &lf.root
+	rn.next.Store(nil)
+	rn.locked.Store(false)
+	if l.rootTail.CompareAndSwap(nil, rn) {
+		if h := l.handover; h != nil {
+			h.Record(t.Socket)
+		}
+		return true
+	}
+	// Root busy: retreat from the leaf queue.
+	if lf.tail.CompareAndSwap(me, nil) {
+		t.ReleaseSlot()
+		return false
+	}
+	// A successor swapped the leaf tail; wait out its two-instruction
+	// link window (it is between tail swap and next.Store, never parked)
+	// and promote it to representative in our place.
+	var s spinwait.Spinner
+	succ := me.next.Load()
+	for succ == nil {
+		s.Pause()
+		succ = me.next.Load()
+	}
+	succ.status.Store(statusAcqPar)
+	l.wait.Wake(&succ.wait)
+	t.ReleaseSlot()
+	return false
+}
+
 // Unlock releases the lock for t.
 func (l *HMCS) Unlock(t *locks.Thread) {
 	lf := l.leaves[t.Socket]

@@ -142,11 +142,41 @@ func (t *Thread) Depth() int { return t.nest }
 type Mutex interface {
 	// Lock acquires the mutex for t, blocking until it is available.
 	Lock(t *Thread)
+	// TryLock attempts a single non-blocking acquisition for t: it
+	// returns true iff the mutex was free and is now held. A TryLock —
+	// failed or successful — never joins a wait queue and never touches
+	// the waiter substrate (see waiter.TryPolicy); the composed fast
+	// path of Fissile Locks (Dice & Kogan 2020) is built from exactly
+	// this operation in front of the queue machinery. On failure the
+	// thread's nesting slot is not consumed.
+	TryLock(t *Thread) bool
 	// Unlock releases the mutex. It must be called by the thread that
 	// holds it (cohort-style global locks relax this internally, but the
 	// public interface keeps the POSIX contract).
 	Unlock(t *Thread)
 	// Name identifies the algorithm in reports, e.g. "MCS" or "CNA".
+	Name() string
+}
+
+// NativeMutex is the goroutine-native lock contract: a sync.Locker
+// (plus TryLock and Name) that needs no *Thread — any goroutine may
+// call Lock and any goroutine may later Unlock the same acquisition,
+// exactly like sync.Mutex. Registered locks gain this shape through the
+// internal/gonative adapter, which claims a Thread slot per acquisition
+// behind the scenes; the stdlib baselines (std, std-rw) implement it
+// directly. The interface lives here, in the leaf lock package, so the
+// registry can describe native builds without importing the adapter.
+type NativeMutex interface {
+	// Lock blocks until the mutex is held by the caller.
+	Lock()
+	// TryLock attempts one non-blocking acquisition (false when the
+	// mutex — or, for adapted locks, a thread slot — is unavailable).
+	TryLock() bool
+	// Unlock releases the mutex. As with sync.Mutex, a different
+	// goroutine than the locker may call it, provided the critical
+	// section was handed over with proper synchronization.
+	Unlock()
+	// Name identifies the algorithm in reports, e.g. "CNA" or "std".
 	Name() string
 }
 

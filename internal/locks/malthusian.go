@@ -35,6 +35,9 @@ type Malthusian struct {
 
 	// passive is the culled-waiter stack; only the lock holder touches
 	// it, so plain fields suffice (like CNA's holder-maintained state).
+	// The release path keeps that invariant honest by never freeing the
+	// lock while the list is non-empty: a drained queue hands over to a
+	// passive waiter directly, so no access ever follows the release.
 	passiveHead *mcsNode
 	passiveLen  int
 
@@ -100,6 +103,20 @@ func (l *Malthusian) Lock(t *Thread) {
 	}
 }
 
+// TryLock implements Mutex: one CAS on the empty tail, as in MCS. The
+// tail is nil only when the passive list is empty too (a releaser with
+// passive waiters hands the lock directly to one instead of freeing
+// it), so a successful TryLock can never interleave with a revive.
+func (l *Malthusian) TryLock(t *Thread) bool {
+	n := &l.nodes[t.ID][t.AcquireSlot()]
+	n.next.Store(nil)
+	if l.tail.CompareAndSwap(nil, n) {
+		return true
+	}
+	t.ReleaseSlot()
+	return false
+}
+
 // Unlock passes the lock, culling the immediate successor into the
 // passive list when more than minActive waiters are linked, and
 // occasionally reviving a passive waiter for long-term fairness.
@@ -136,29 +153,31 @@ func (l *Malthusian) Unlock(t *Thread) {
 
 	next := n.next.Load()
 	if next == nil {
-		if l.tail.CompareAndSwap(n, nil) {
-			// Queue empty: if passive waiters remain, one must take over
-			// (otherwise they would strand).
-			if l.passiveHead != nil {
-				revived := l.passiveHead
-				l.passiveHead = revived.next.Load()
-				l.passiveLen--
+		// No linked successor. Passive waiters must not strand, and the
+		// passive list is holder-only state, so it must never be touched
+		// after a release CAS publishes a free lock: with passive
+		// waiters present, hand the lock directly to one — swing the
+		// tail from our node to the revived node — instead of freeing
+		// it. The tail is therefore nil only when the passive list is
+		// empty too, which is what makes the TryLock fast path safe.
+		if l.passiveHead != nil {
+			revived := l.passiveHead
+			l.passiveHead = revived.next.Load()
+			l.passiveLen--
+			revived.next.Store(nil)
+			if l.tail.CompareAndSwap(n, revived) {
 				l.stats.revived++
-				revived.next.Store(nil)
-				if !l.tail.CompareAndSwap(nil, revived) {
-					// A new thread entered an empty queue and became the
-					// holder; chain the revived node after the new tail.
-					// Simplest safe path: treat revived as a fresh waiter
-					// by re-enqueueing it.
-					prev := l.tail.Swap(revived)
-					if prev != nil {
-						prev.next.Store(revived)
-						return
-					}
-				}
 				revived.locked.Store(true)
 				l.wait.Wake(&revived.wait)
+				return
 			}
+			// A new waiter swapped the tail after our next-load and is
+			// about to link in. We still hold the lock, so the list is
+			// still ours: put the node back and hand over normally.
+			revived.next.Store(l.passiveHead)
+			l.passiveHead = revived
+			l.passiveLen++
+		} else if l.tail.CompareAndSwap(n, nil) {
 			return
 		}
 		var s spinwait.Spinner

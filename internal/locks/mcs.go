@@ -124,6 +124,23 @@ func (l *MCS) Lock(t *Thread) {
 	}
 }
 
+// TryLock implements Mutex: a single CAS on the tail word in place of
+// the unconditional swap. It succeeds only when the queue is empty, so
+// a failed TryLock never enqueues, never publishes the node and never
+// touches the waiter state (waiter.TryPolicy).
+func (l *MCS) TryLock(t *Thread) bool {
+	n := l.node(t, t.AcquireSlot())
+	n.clearNext()
+	if l.tail.CompareAndSwap(nil, n) {
+		if st := l.stats; st != nil {
+			st.Record(t.Socket)
+		}
+		return true
+	}
+	t.ReleaseSlot()
+	return false
+}
+
 // Unlock passes the lock to t's successor, or empties the queue.
 func (l *MCS) Unlock(t *Thread) {
 	n := l.node(t, t.ReleaseSlot())

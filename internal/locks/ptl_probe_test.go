@@ -1,0 +1,38 @@
+package locks
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPTLTicketOneBlocksAtInit pins the PTL startup window: on a fresh
+// lock, ticket 1 must wait for ticket 0's release. The original slot
+// initialization (grant value i in slot i) pre-granted every ticket in
+// [1, slots), so the first acquirers of a fresh lock could all enter
+// the critical section together — invisible to steady-state hammering
+// once real releases overwrote the poisoned grants, but instantly fatal
+// for short-lived locks (the goroutine-native conformance storm caught
+// it through C-PTL-TKT's global).
+func TestPTLTicketOneBlocksAtInit(t *testing.T) {
+	l := NewPartitionedTicket(2)
+	t0 := NewThread(0, 0)
+	t1 := NewThread(1, 1)
+	l.Lock(t0) // ticket 0
+	done := make(chan struct{})
+	go func() {
+		l.Lock(t1) // ticket 1 — must block until t0 unlocks
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("ticket 1 served while ticket 0 held the lock")
+	case <-time.After(200 * time.Millisecond):
+	}
+	l.Unlock(t0)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ticket 1 never served after ticket 0's release")
+	}
+	l.Unlock(t1)
+}

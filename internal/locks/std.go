@@ -1,0 +1,103 @@
+package locks
+
+import "sync"
+
+// Std wraps sync.Mutex in the Mutex contract, ignoring the Thread
+// argument — the Go runtime manages waiting and handover itself. It is
+// registered as the "std" baseline so every sweep and conformance run
+// compares the paper's locks against what plain Go code ships with. Its
+// native form (NewStdNative) is sync.Mutex essentially unwrapped, so
+// go-native adapter overhead can be read against a zero-adapter
+// baseline.
+type Std struct {
+	mu sync.Mutex
+}
+
+// NewStd returns the sync.Mutex baseline lock.
+func NewStd() *Std { return &Std{} }
+
+// Lock implements Mutex.
+func (l *Std) Lock(t *Thread) { l.mu.Lock() }
+
+// TryLock implements Mutex.
+func (l *Std) TryLock(t *Thread) bool { return l.mu.TryLock() }
+
+// Unlock implements Mutex.
+func (l *Std) Unlock(t *Thread) { l.mu.Unlock() }
+
+// Name implements Mutex.
+func (l *Std) Name() string { return "std" }
+
+// StdRW is the write-locked sync.RWMutex baseline ("std-rw"): every
+// acquisition takes the write side, so it is a mutex with the RWMutex's
+// heavier writer bookkeeping — the honest baseline for code that guards
+// mostly-written state with an RWMutex.
+type StdRW struct {
+	mu sync.RWMutex
+}
+
+// NewStdRW returns the write-locked sync.RWMutex baseline lock.
+func NewStdRW() *StdRW { return &StdRW{} }
+
+// Lock implements Mutex.
+func (l *StdRW) Lock(t *Thread) { l.mu.Lock() }
+
+// TryLock implements Mutex.
+func (l *StdRW) TryLock(t *Thread) bool { return l.mu.TryLock() }
+
+// Unlock implements Mutex.
+func (l *StdRW) Unlock(t *Thread) { l.mu.Unlock() }
+
+// Name implements Mutex.
+func (l *StdRW) Name() string { return "std-rw" }
+
+// StdNative is sync.Mutex under the NativeMutex contract — what the
+// go-native adapter path builds for the "std" spec (no thread slots to
+// claim, so no adapter wraps it).
+type StdNative struct {
+	mu sync.Mutex
+}
+
+// NewStdNative returns the goroutine-native sync.Mutex baseline.
+func NewStdNative() *StdNative { return &StdNative{} }
+
+// Lock implements NativeMutex.
+func (l *StdNative) Lock() { l.mu.Lock() }
+
+// TryLock implements NativeMutex.
+func (l *StdNative) TryLock() bool { return l.mu.TryLock() }
+
+// Unlock implements NativeMutex.
+func (l *StdNative) Unlock() { l.mu.Unlock() }
+
+// Name implements NativeMutex.
+func (l *StdNative) Name() string { return "std" }
+
+// StdRWNative is the write-locked sync.RWMutex under the NativeMutex
+// contract.
+type StdRWNative struct {
+	mu sync.RWMutex
+}
+
+// NewStdRWNative returns the goroutine-native write-locked RWMutex
+// baseline.
+func NewStdRWNative() *StdRWNative { return &StdRWNative{} }
+
+// Lock implements NativeMutex.
+func (l *StdRWNative) Lock() { l.mu.Lock() }
+
+// TryLock implements NativeMutex.
+func (l *StdRWNative) TryLock() bool { return l.mu.TryLock() }
+
+// Unlock implements NativeMutex.
+func (l *StdRWNative) Unlock() { l.mu.Unlock() }
+
+// Name implements NativeMutex.
+func (l *StdRWNative) Name() string { return "std-rw" }
+
+var (
+	_ Mutex       = (*Std)(nil)
+	_ Mutex       = (*StdRW)(nil)
+	_ NativeMutex = (*StdNative)(nil)
+	_ NativeMutex = (*StdRWNative)(nil)
+)

@@ -25,6 +25,12 @@ func (l *TAS) Lock(t *Thread) {
 	}
 }
 
+// TryLock implements Mutex: one read plus at most one swap, the CAS-only
+// fast path every flat lock shares.
+func (l *TAS) TryLock(t *Thread) bool {
+	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}
+
 // Unlock releases the lock.
 func (l *TAS) Unlock(t *Thread) { l.state.Store(0) }
 
@@ -52,6 +58,11 @@ func (l *TTAS) Lock(t *Thread) {
 			return
 		}
 	}
+}
+
+// TryLock implements Mutex.
+func (l *TTAS) TryLock(t *Thread) bool {
+	return l.state.Load() == 0 && l.state.Swap(1) == 0
 }
 
 // Unlock releases the lock.
@@ -108,8 +119,9 @@ func (l *BackoffTAS) Unlock(t *Thread) { l.state.Store(0) }
 // Name implements Mutex.
 func (l *BackoffTAS) Name() string { return "BO-TAS" }
 
-// TryLock attempts a single non-blocking acquisition (used by the cohort
-// framework's global-lock path).
-func (l *BackoffTAS) TryLock() bool {
+// TryLock implements Mutex (also used by the cohort framework's
+// global-lock path; the thread argument is unused — the lock is
+// thread-oblivious).
+func (l *BackoffTAS) TryLock(t *Thread) bool {
 	return l.state.Load() == 0 && l.state.Swap(1) == 0
 }

@@ -40,6 +40,18 @@ func (l *Ticket) Lock(t *Thread) {
 	l.wait.WaitGlobal(func() uint32 { return ticket - uint32(l.state.Load()) })
 }
 
+// TryLock implements Mutex: take a ticket only when it would be served
+// immediately. The CAS covers the whole state word, so a concurrent
+// arrival (which would make our ticket wait) forces a clean failure
+// instead of a queued ticket — TryLock never waits in line.
+func (l *Ticket) TryLock(t *Thread) bool {
+	v := l.state.Load()
+	if uint32(v>>32) != uint32(v) {
+		return false // someone holds (or waits for) the lock
+	}
+	return l.state.CompareAndSwap(v, v+1<<32)
+}
+
 // Unlock serves the next ticket. Ticket locks are thread-oblivious: any
 // thread may call Unlock on behalf of the holder, a property the cohort
 // framework requires of its global lock.
@@ -87,10 +99,16 @@ func NewPartitionedTicket(slots int) *PartitionedTicket {
 		slots = 1
 	}
 	l := &PartitionedTicket{slots: make([]paddedGrant, slots), wait: waiter.Default}
-	// Slot i initially holds grant value i so that ticket i finds its
-	// grant in slot i%slots.
-	for i := range l.slots {
-		l.slots[i].grant.Store(uint64(i))
+	// Slot i serves tickets congruent to i mod slots; initialize it one
+	// full stride BEHIND its first ticket (i - slots, in wrapping
+	// arithmetic), so ticket i waits at distance 1 until ticket i-1's
+	// release announces grant i. Initializing slot i to i — the obvious
+	// choice — pre-grants every ticket in [1, slots), letting the first
+	// few acquirers of a fresh lock run concurrently (a startup-window
+	// mutual-exclusion bug pinned by TestPTLTicketOneBlocksAtInit).
+	// Slot 0 holds 0: ticket 0 finds a free lock.
+	for i := 1; i < len(l.slots); i++ {
+		l.slots[i].grant.Store(uint64(i) - uint64(slots))
 	}
 	return l
 }
@@ -112,6 +130,22 @@ func (l *PartitionedTicket) Lock(t *Thread) {
 	stride := uint64(len(l.slots))
 	l.wait.WaitGlobal(func() uint32 { return uint32((ticket - slot.grant.Load()) / stride) })
 	l.held = ticket
+}
+
+// TryLock implements Mutex: claim the next ticket only if its slot
+// already announces it. If the grant check passes but the CAS on next
+// fails, another thread raced us to the ticket and TryLock reports
+// failure without having taken (or waited on) any ticket.
+func (l *PartitionedTicket) TryLock(t *Thread) bool {
+	ticket := l.next.Load()
+	if l.slots[ticket%uint64(len(l.slots))].grant.Load() != ticket {
+		return false
+	}
+	if !l.next.CompareAndSwap(ticket, ticket+1) {
+		return false
+	}
+	l.held = ticket
+	return true
 }
 
 // Unlock announces the next ticket in its slot.

@@ -214,6 +214,21 @@ func (d *Domain) decode(enc uint32) *qnode {
 	return &d.nodes[cpu][idx]
 }
 
+// TryLock attempts the uncontended fast path once on behalf of the
+// given CPU: the 0→1 CAS on the lock word, never the pending bit and
+// never the queue, so a failed TryLock leaves no trace — the same
+// composed-fast-path shape the user-space locks expose through
+// locks.Mutex.TryLock.
+func (d *Domain) TryLock(l *SpinLock, cpu int) bool {
+	if l.TryLock() {
+		if st := d.stats; st != nil {
+			st.FastPath.Add(1)
+		}
+		return true
+	}
+	return false
+}
+
 // Lock acquires l on behalf of the given (virtual) CPU.
 func (d *Domain) Lock(l *SpinLock, cpu int) {
 	if l.val.CompareAndSwap(0, lockedVal) {

@@ -1,0 +1,38 @@
+package waiter
+
+import "testing"
+
+// TestTryPolicyTouchesNothing pins the TryPolicy contract: every method
+// is a no-op that leaves the State bit-for-bit untouched — no park
+// intent, no park counter movement, no semaphore allocation — so a
+// TryLock path "running under TryPolicy" is guaranteed free of waiter
+// side effects regardless of the lock's blocking policy.
+func TestTryPolicyTouchesNothing(t *testing.T) {
+	var st State
+	calls := 0
+	ready := func() bool { calls++; return false }
+
+	TryPolicy.Prepare(&st)
+	TryPolicy.Wait(&st, ready)
+	TryPolicy.WaitGlobal(func() uint32 { calls++; return 1 })
+	TryPolicy.Wake(&st)
+
+	if st.Parks() != 0 {
+		t.Errorf("TryPolicy moved the park counter to %d", st.Parks())
+	}
+	if st.Parked() {
+		t.Error("TryPolicy left parked intent set")
+	}
+	if st.sema != nil {
+		t.Error("TryPolicy allocated the semaphore")
+	}
+	if st.streak.Load() != 0 {
+		t.Errorf("TryPolicy moved the adaptive streak to %d", st.streak.Load())
+	}
+	if calls != 0 {
+		t.Errorf("TryPolicy invoked wait predicates %d times; must never wait", calls)
+	}
+	if TryPolicy.Suffix() != "" {
+		t.Errorf("TryPolicy suffix %q; TryLock paths must not rename locks", TryPolicy.Suffix())
+	}
+}

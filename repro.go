@@ -30,6 +30,23 @@
 //
 //	lock := repro.MustBuild("cna-park", env)     // == "cna" + WithWait(SpinThenParkWait())
 //
+// # Drop-in usage (no Threads)
+//
+// Plain Go code that just wants a better sync.Mutex uses the
+// goroutine-native form instead — a sync.Locker with TryLock, no
+// *Thread anywhere (internal/gonative supplies per-acquisition thread
+// identity from a striped slot pool behind the scenes):
+//
+//	var mu = repro.MustNewMutex("cna")           // satisfies sync.Locker
+//	mu.Lock(); ...; mu.Unlock()
+//	if mu.TryLock() { ...; mu.Unlock() }
+//
+// The stdlib baselines "std" (sync.Mutex) and "std-rw" (write-locked
+// sync.RWMutex) are registered too, so swapping between the runtime's
+// mutex and any paper lock is a one-string change in both directions.
+// Every TryLock — on the native form and on the *Thread form — is a
+// pure fast-path probe: it never blocks and never joins a queue.
+//
 // The CNA-specific constructors (NewCNA, NewArena) remain for callers
 // that want the concrete *CNA type, e.g. to read Stats(). Statistics
 // collection is opt-in — build with WithStats(true) (or call
@@ -42,6 +59,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/gonative"
 	"repro/internal/lockreg"
 	"repro/internal/locks"
 	"repro/internal/numa"
@@ -52,6 +70,11 @@ import (
 // Mutex is the uniform lock interface implemented by every user-space
 // lock in this repository.
 type Mutex = locks.Mutex
+
+// NativeMutex is the goroutine-native lock contract: a sync.Locker
+// with TryLock and Name, usable from plain Go code with no *Thread in
+// sight. NewMutex returns one for any registered lock.
+type NativeMutex = locks.NativeMutex
 
 // Thread is a worker's identity (dense id, NUMA socket, private PRNG),
 // passed to every Lock/Unlock call.
@@ -95,6 +118,34 @@ func Build(name string, env Env, opts ...BuildOption) (Mutex, error) {
 // ones.
 func MustBuild(name string, env Env, opts ...BuildOption) Mutex {
 	return lockreg.MustBuild(name, env, opts...)
+}
+
+// ---- Goroutine-native construction (drop-in sync.Mutex replacement) ----
+
+// NewMutex builds the named lock in goroutine-native form: a
+// sync.Locker (with TryLock) that plain Go code can use exactly like a
+// sync.Mutex — goroutines may migrate freely, and a different
+// goroutine may Unlock, under the same rules as sync.Mutex. The slot
+// pool behind it is sized for several concurrent acquisitions per
+// processor; acquisitions beyond that wait briefly for a slot, they
+// never corrupt queue nodes. Options work as in Build ("cna" +
+// WithThreshold, "mcs" + WithWait(SpinThenParkWait()), ...); prefer
+// the "*-park" spellings when goroutines can outnumber processors.
+func NewMutex(name string, opts ...BuildOption) (NativeMutex, error) {
+	return gonative.New(name, Env{}, opts...)
+}
+
+// NewMutexIn is NewMutex with an explicit environment: MaxThreads
+// bounds concurrent acquisitions (the slot-pool capacity), Topology
+// shapes the pool's socket striping and the lock's NUMA layout, and a
+// shared Arena works as in Build.
+func NewMutexIn(name string, env Env, opts ...BuildOption) (NativeMutex, error) {
+	return gonative.New(name, env, opts...)
+}
+
+// MustNewMutex is NewMutex for statically known names.
+func MustNewMutex(name string, opts ...BuildOption) NativeMutex {
+	return gonative.MustNew(name, Env{}, opts...)
 }
 
 // Functional options, re-exported from internal/lockreg as wrapper
