@@ -1,0 +1,217 @@
+// kvserver is the end-to-end serving demo: it builds the sharded KV
+// server (internal/kvserver) with every shard lock drawn from the
+// registry, drives it with the built-in zipfian/uniform load generator
+// across a worker ladder (1x–4x GOMAXPROCS by default), and reports
+// per-operation-class p50/p95/p99 latency plus SLO-violation counts as
+// a repro-bench/v2 JSON report and a rendered markdown SLO table.
+//
+//	go run ./cmd/kvserver -locks CNA,std -skew 0.99
+//	go run ./cmd/kvserver -locks CNA,CNA-park,std -threads 1x,4x -swap-every 20ms
+//	go run ./cmd/kvserver -render -out kvserver.json   # re-render/validate JSON
+//
+// Each -locks entry is measured in its own run with every shard under
+// that lock, so rows compare policies like the benchjson sweeps do;
+// -swap-every additionally rotates all shard locks through the -locks
+// list *during* each run (live policy swap under traffic — throughput
+// and tails then include the handoff cost). -progress prints live
+// percentiles mid-run from concurrent histogram snapshots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/kvserver"
+	"repro/internal/lockreg"
+	"repro/internal/numa"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "kvserver.json", "output file for the JSON report")
+		lockList  = flag.String("locks", "CNA,std", "comma-separated lock names (see README), or 'all'; each is measured with every shard under it")
+		shards    = flag.Int("shards", 16, "shard count")
+		skew      = flag.Float64("skew", 0.99, "zipfian theta in [0,1); 0 = uniform key popularity")
+		threads   = flag.String("threads", "1x,2x,4x", "comma-separated worker counts; 'Nx' means N*GOMAXPROCS")
+		keys      = flag.Uint64("keys", 1<<16, "key-space size")
+		readFrac  = flag.Float64("get", 0.9, "Get fraction of the mix (rest are Puts)")
+		dur       = flag.Duration("dur", 200*time.Millisecond, "measured window per run")
+		warmup    = flag.Duration("warmup", 20*time.Millisecond, "untimed warmup per run")
+		getSLO    = flag.Duration("slo-get", 500*time.Microsecond, "per-Get latency budget (0 disables)")
+		putSLO    = flag.Duration("slo-put", time.Millisecond, "per-Put latency budget (0 disables)")
+		swapEvery = flag.Duration("swap-every", 0, "rotate all shard locks through -locks at this cadence during each run (0 = off)")
+		seed      = flag.Uint64("seed", 1, "load-generator seed")
+		short     = flag.Bool("short", false, "smoke mode for CI: shorter windows, fewer worker rungs")
+		progress  = flag.Bool("progress", false, "print live p99s mid-run (concurrent histogram snapshots)")
+		md        = flag.Bool("md", false, "also render the report as markdown (see -mdout)")
+		mdOut     = flag.String("mdout", "KVSERVER.md", "output file for the markdown rendering")
+		render    = flag.Bool("render", false, "skip measurement: re-render -mdout from the existing -out JSON (validates the schema; implies -md)")
+	)
+	flag.Parse()
+
+	if *render {
+		report, err := readReportFile(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := writeMarkdownFile(*mdOut, report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("rendered %s from %s (schema %s, %d results)\n", *mdOut, *out, report.Schema, len(report.Results))
+		return
+	}
+
+	specs, err := lockreg.Resolve(*lockList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	counts, err := parseCounts(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *skew < 0 || *skew >= 1 {
+		fmt.Fprintln(os.Stderr, "kvserver: -skew must be in [0, 1)")
+		os.Exit(2)
+	}
+	window := *dur
+	if *short {
+		window = *dur / 4
+		if len(counts) > 2 {
+			counts = []int{counts[0], counts[len(counts)-1]}
+		}
+	}
+
+	env := lockreg.Env{Topology: numa.TwoSocketXeonE5()}
+	var results []harness.Result
+	for _, spec := range specs {
+		for _, workers := range counts {
+			srv := kvserver.New(kvserver.Config{
+				Shards: *shards,
+				Locks:  []lockreg.Spec{spec},
+				Env:    env,
+				// Every worker may hold one acquisition; a little slack
+				// covers the swap rotation's drain acquisitions.
+				PoolCapacity: workers + 2,
+			})
+			load := kvserver.LoadSpec{
+				Keys:     *keys,
+				Theta:    *skew,
+				ReadFrac: *readFrac,
+				Workers:  workers,
+				Duration: window,
+				Warmup:   *warmup,
+				Seed:     *seed,
+				GetSLO:   *getSLO,
+				PutSLO:   *putSLO,
+				Prefill:  true,
+				Label:    spec.Name, // stable label even when rotation is on
+			}
+			if *swapEvery > 0 {
+				load.SwapEvery = *swapEvery
+				load.SwapLocks = specs
+			}
+			if *progress {
+				load.SnapshotEvery = window / 4
+				load.OnLive = func(ls kvserver.LiveStats) {
+					fmt.Printf("  [%6.0fms] %s t%d: %d ops, get p99 %.0fµs, put p99 %.0fµs, %d SLO violations, %d swaps\n",
+						float64(ls.Elapsed.Milliseconds()), spec.Name, workers, ls.Ops,
+						ls.GetP99Ns/1000, ls.PutP99Ns/1000, ls.SLOViolations, ls.Swaps)
+				}
+			}
+			out := kvserver.Run(srv, load)
+			results = append(results, out.Results...)
+			if *swapEvery > 0 {
+				fmt.Printf("%s t%d: %d live swaps during the run\n", spec.Name, workers, out.Swaps)
+			}
+		}
+	}
+
+	report := harness.NewReport(*short, results)
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := report.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *md {
+		if err := writeMarkdownFile(*mdOut, report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Print(harness.FormatResults(results))
+	fmt.Printf("\nwrote %d results to %s", len(results), *out)
+	if *md {
+		fmt.Printf(" and %s", *mdOut)
+	}
+	fmt.Println()
+}
+
+func readReportFile(path string) (harness.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return harness.Report{}, err
+	}
+	defer f.Close()
+	return harness.ReadReport(f)
+}
+
+func writeMarkdownFile(path string, report harness.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := kvserver.WriteMarkdown(f, report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseCounts parses the -threads list; "Nx" entries mean
+// N*GOMAXPROCS (the serving ladder is phrased in oversubscription
+// factors, as in cmd/benchjson). Deduplicated and sorted.
+func parseCounts(s string) ([]int, error) {
+	gmp := runtime.GOMAXPROCS(0)
+	var raw []int
+	for _, tok := range strings.Split(s, ",") {
+		tok := strings.TrimSpace(tok)
+		num, mult := tok, 1
+		if rest, ok := strings.CutSuffix(tok, "x"); ok {
+			num, mult = rest, gmp
+		}
+		n, err := strconv.Atoi(num)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("kvserver: bad worker count %q", tok)
+		}
+		raw = append(raw, n*mult)
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, n := range raw {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,7 +1,11 @@
-// kvstore: the paper's Section 7.1.1 scenario as an application — a
-// key-value map (AVL tree) under one lock, hammered by a mixed workload,
-// comparing sync.Mutex ("std"), MCS and CNA end to end and printing
-// throughput plus the paper's fairness factor.
+// kvstore: the serving-path version of the paper's Section 7.1.1
+// key-value scenario, built on the internal/kvserver subsystem — a
+// sharded KV store whose shard locks come from the registry, driven by
+// the built-in zipfian load generator with per-class SLO tracking, and
+// a live policy swap mid-comparison. It compares sync.Mutex ("std"),
+// MCS and CNA end to end; for the single-lock AVL-tree original, see
+// git history, and for the full sweep with JSON/markdown reports, see
+// cmd/kvserver.
 //
 // Run with: go run ./examples/kvstore
 package main
@@ -10,40 +14,69 @@ import (
 	"fmt"
 	"time"
 
-	"repro"
 	"repro/internal/harness"
-	"repro/internal/kvmap"
-	"repro/internal/locks"
+	"repro/internal/kvserver"
+	"repro/internal/lockreg"
 	"repro/internal/numa"
 )
 
 func main() {
-	topo := numa.TwoSocketXeonE5()
-	counts := []int{1, 2, 4, 8}
+	env := lockreg.Env{Topology: numa.TwoSocketXeonE5()}
+	counts := []int{2, 4, 8}
 
-	mkWorkload := func(lockName string) harness.Workload {
-		return func(threads int) func(*locks.Thread, int) {
-			env := repro.Env{MaxThreads: threads, Topology: topo}
-			m := kvmap.NewMap(repro.MustBuild(lockName, env))
-			setup := repro.NewThread(0, 0)
-			m.Prefill(setup, 1024, 1)
-			w := kvmap.DefaultWorkload() // 80% lookups / 20% updates
-			return func(t *locks.Thread, op int) { w.Op(m, t) }
-		}
-	}
-
-	// Any name from repro.LockNames() works here — the registry makes
-	// adding another algorithm to this comparison a one-word change;
-	// "std" is the registered sync.Mutex baseline.
+	// Any name from the registry works here — adding another algorithm
+	// to this comparison is a one-word change; "std" is the registered
+	// sync.Mutex baseline.
 	var results []harness.Result
 	for _, name := range []string{"std", "MCS", "CNA"} {
-		results = append(results, harness.Sweep(harness.Config{
-			Name:     "kv/" + name,
-			Topo:     topo,
-			Duration: 100 * time.Millisecond,
-			Repeats:  2,
-		}, counts, mkWorkload(name))...)
+		spec := lockreg.MustSpec(name)
+		for _, workers := range counts {
+			srv := kvserver.New(kvserver.Config{
+				Shards:       8,
+				Locks:        []lockreg.Spec{spec},
+				Env:          env,
+				PoolCapacity: workers + 1,
+			})
+			out := kvserver.Run(srv, kvserver.LoadSpec{
+				Keys:     1 << 14,
+				Theta:    0.99, // zipfian hot-key skew, YCSB's default shape
+				ReadFrac: 0.8,  // the original's 80% lookups / 20% updates
+				Workers:  workers,
+				Duration: 60 * time.Millisecond,
+				Warmup:   10 * time.Millisecond,
+				Seed:     1,
+				GetSLO:   500 * time.Microsecond,
+				PutSLO:   time.Millisecond,
+				Prefill:  true,
+			})
+			results = append(results, out.Results...)
+		}
 	}
 	fmt.Print(harness.FormatResults(results))
-	fmt.Println("\n(real-concurrency run on this host; paper-shaped NUMA curves: cmd/reproduce)")
+
+	// The subsystem's headline trick: replace every shard's lock while
+	// request traffic is running. No stop-the-world, no lost updates —
+	// the swap drains each holder and re-validating acquirers retry on
+	// the new lock (see internal/kvserver's package docs).
+	fmt.Println("\nlive policy swap under traffic (std -> CNA mid-run):")
+	srv := kvserver.New(kvserver.Config{
+		Shards:       8,
+		Locks:        []lockreg.Spec{lockreg.MustSpec("std")},
+		Env:          env,
+		PoolCapacity: 9,
+	})
+	out := kvserver.Run(srv, kvserver.LoadSpec{
+		Keys:      1 << 14,
+		Theta:     0.99,
+		ReadFrac:  0.8,
+		Workers:   8,
+		Duration:  80 * time.Millisecond,
+		Seed:      1,
+		Prefill:   true,
+		SwapEvery: 20 * time.Millisecond,
+		SwapLocks: []lockreg.Spec{lockreg.MustSpec("CNA")},
+	})
+	fmt.Printf("  %d shard-lock swaps completed under load; shard locks now: %v\n",
+		out.Swaps, srv.LockNames()[0])
+	fmt.Println("\n(real-concurrency run on this host; full sweep + SLO tables: cmd/kvserver)")
 }

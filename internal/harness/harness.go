@@ -101,6 +101,17 @@ type Result struct {
 	P95Ns          float64 `json:"p95_ns,omitempty"`
 	P99Ns          float64 `json:"p99_ns,omitempty"`
 	LatencySamples uint64  `json:"latency_samples,omitempty"`
+
+	// Serving-path fields, set by sweeps that model request serving
+	// (internal/kvserver). Added within schema v2 as optional fields —
+	// the tolerant reader leaves them zero on older files. OpClass
+	// splits one run's results by operation kind ("get", "put");
+	// SLOTargetNs is the per-op latency budget the run was held to and
+	// SLOViolations counts the ops (of TotalOps) that blew it. A zero
+	// SLOTargetNs means the run tracked no SLO.
+	OpClass       string  `json:"op_class,omitempty"`
+	SLOTargetNs   float64 `json:"slo_target_ns,omitempty"`
+	SLOViolations uint64  `json:"slo_violations,omitempty"`
 }
 
 // Run executes the configured benchmark.

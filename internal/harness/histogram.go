@@ -3,6 +3,7 @@ package harness
 import (
 	"math"
 	"math/bits"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,8 +22,18 @@ const (
 
 // Histogram is a fixed-bucket latency histogram in nanoseconds, the
 // per-op distribution store behind the p50/p95/p99 columns of the
-// benchmark report. It is not safe for concurrent use: each worker
-// records into its own Histogram and the harness merges them afterwards.
+// benchmark report.
+//
+// Record is safe for concurrent use (bucket increments are atomic), so
+// a live reporter can Snapshot a histogram other goroutines are still
+// recording into — the serving-path requirement, where percentiles are
+// read mid-run without stopping the measurement window. The read-side
+// methods (Percentile, Samples, Merge) are not synchronised against
+// concurrent recorders: call them on a quiescent histogram, or on the
+// consistent copy Snapshot returns. The recommended sharing pattern is
+// still one Histogram per worker, merged (or snapshotted and merged)
+// by the reader; atomicity makes the mid-run read safe, it does not
+// make a single shared histogram contention-free.
 type Histogram struct {
 	counts [histBuckets]uint64
 	total  uint64
@@ -55,17 +66,44 @@ func bucketUpper(b int) float64 {
 	return float64((histLinearMax + sub + 1) << exp)
 }
 
-// Record adds one observed duration.
+// Record adds one observed duration. Safe for concurrent use.
 func (h *Histogram) Record(d time.Duration) { h.RecordNs(d.Nanoseconds()) }
 
-// RecordNs adds one observed latency in nanoseconds.
+// RecordNs adds one observed latency in nanoseconds. Safe for
+// concurrent use: the increments are atomic adds, whose uncontended
+// cost is a few nanoseconds — invisible under the 1-in-SamplePeriod
+// sampling the harness records at, and the price of mid-run Snapshots
+// for live reporters.
 func (h *Histogram) RecordNs(ns int64) {
-	h.counts[bucketOf(ns)]++
-	h.total++
+	atomic.AddUint64(&h.counts[bucketOf(ns)], 1)
+	atomic.AddUint64(&h.total, 1)
+}
+
+// Snapshot returns a point-in-time copy that is safe to read (and
+// Merge) while recorders keep calling Record on h. Each bucket is
+// loaded atomically, and the copy's total is recomputed as the sum of
+// the loaded buckets rather than read from h.total — a Record between
+// the two reads could otherwise leave the snapshot claiming more
+// samples than its buckets hold, and a percentile rank would then run
+// past the recorded mass. Bucket counts only grow, so every snapshot
+// bucket is a lower bound of the live one and the copy is always
+// internally consistent (Samples() == sum of counts).
+func (h *Histogram) Snapshot() *Histogram {
+	s := &Histogram{}
+	var total uint64
+	for i := range h.counts {
+		c := atomic.LoadUint64(&h.counts[i])
+		s.counts[i] = c
+		total += c
+	}
+	s.total = total
+	return s
 }
 
 // Merge adds o's counts into h. Bucket boundaries are fixed, so merging
-// per-thread (or per-repeat) histograms is exact.
+// per-thread (or per-repeat) histograms is exact. Merge reads o and
+// writes h unsynchronised: o must be quiescent or a Snapshot, and h
+// must not be concurrently recorded into.
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil {
 		return

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -151,6 +152,89 @@ func TestHistogramMergeAcrossThreads(t *testing.T) {
 	}
 	if merged.counts != whole.counts {
 		t.Error("merged bucket counts differ from whole-recorded counts")
+	}
+}
+
+// TestHistogramSnapshotDuringConcurrentRecords is the white-box
+// concurrency contract behind live mid-run reporting: while recorder
+// goroutines hammer Record, every Snapshot must be internally
+// consistent — its total equals the sum of its bucket counts (an
+// out-of-sync total would push percentile ranks past the recorded
+// mass), no bucket ever underflows (exceeds what recorders could have
+// written, or shrinks between successive snapshots), and the final
+// quiescent state accounts for every recorded value exactly.
+func TestHistogramSnapshotDuringConcurrentRecords(t *testing.T) {
+	const workers = 4
+	iters := 20000
+	if testing.Short() {
+		iters = 4000
+	}
+	var h Histogram
+	var wg sync.WaitGroup
+	stopSnap := make(chan struct{})
+
+	var snaps int
+	prev := &Histogram{}
+	snapErr := make(chan error, 1)
+	go func() {
+		defer close(snapErr)
+		for {
+			s := h.Snapshot()
+			var sum uint64
+			for i, c := range s.counts {
+				sum += c
+				if c < prev.counts[i] {
+					snapErr <- fmt.Errorf("bucket %d shrank between snapshots: %d -> %d", i, prev.counts[i], c)
+					return
+				}
+			}
+			if sum != s.total {
+				snapErr <- fmt.Errorf("snapshot total %d != bucket sum %d (underflow window)", s.total, sum)
+				return
+			}
+			if max := uint64(workers * iters); sum > max {
+				snapErr <- fmt.Errorf("snapshot holds %d samples, only %d recorded", sum, max)
+				return
+			}
+			prev = s
+			snaps++
+			select {
+			case <-stopSnap:
+				return
+			default:
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Spread across buckets, including cross-octave values.
+				h.RecordNs(int64(1 << (i % 20)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopSnap)
+	if err := <-snapErr; err != nil {
+		t.Fatal(err)
+	}
+	if snaps == 0 {
+		t.Fatal("snapshotter never ran")
+	}
+
+	final := h.Snapshot()
+	if want := uint64(workers * iters); final.Samples() != want {
+		t.Fatalf("final samples = %d, want %d (lost records)", final.Samples(), want)
+	}
+	// A quiescent snapshot is a faithful copy: percentiles agree with
+	// reading the histogram directly.
+	for _, p := range []float64{50, 95, 99} {
+		if s, d := final.Percentile(p), h.Percentile(p); s != d {
+			t.Errorf("p%v: snapshot %v != direct %v", p, s, d)
+		}
 	}
 }
 

@@ -1,0 +1,275 @@
+// Package kvserver is the end-to-end serving subsystem: a sharded
+// in-process key-value store whose every shard mutex comes from the
+// lock registry, driven by a built-in load generator with hot-key skew
+// and per-operation-class SLO tracking. It is the layer that turns the
+// lock library into a system — the microbenchmarks measure a lock in
+// isolation; kvserver measures what a request path built on that lock
+// delivers: throughput, tail latency and SLO violations under zipfian
+// traffic at and beyond GOMAXPROCS.
+//
+// # Architecture
+//
+// A Server owns a fixed array of shards. Each shard is a minikv
+// skiplist guarded by one goroutine-native registry lock
+// (internal/gonative), selected per shard at construction — so a
+// single server can run CNA on half its shards and sync.Mutex on the
+// other half, or any mix the experiment calls for. Requests are plain
+// method calls (Get/Put/Update) from arbitrary goroutines; a
+// multiplicative hash routes each key to its shard. All shard locks
+// draw thread slots from one shared gonative.Pool, so the server's
+// concurrent-acquisition bound is a single knob and idle shards hold
+// no slot capacity hostage.
+//
+// # Live policy swap
+//
+// SwapShard replaces a shard's lock while Get/Put storms continue, via
+// a drain-and-validate handoff: swappers serialize on a per-shard
+// control mutex, acquire the outgoing lock (draining the current
+// holder), publish the replacement, and release the outgoing lock.
+// Request paths acquire whatever lock the shard currently advertises
+// and then re-validate that it is still the advertised one before
+// touching data — a request that lost the race unlocks the stale lock
+// and retries on the new one. Mutual exclusion over shard data
+// therefore never depends on two locks at once: data is only touched
+// under the lock that is current at validation time, and the swapper
+// only publishes while holding the old lock, i.e. while nobody is in a
+// critical section. Each successful swap bumps the shard's epoch, so
+// tests and operators can count handoffs. The -race storm test in
+// swap_test.go pins the no-lost-updates guarantee across ≥8 swaps
+// under full Get/Put/Update load.
+package kvserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gonative"
+	"repro/internal/lockreg"
+	"repro/internal/locks"
+	"repro/internal/minikv"
+)
+
+// shardLock pairs a built goroutine-native lock with the Spec it was
+// built from, so reports and swap rotations know what is installed.
+// The pointer identity of a shardLock is what acquire validates
+// against: one swap, one new *shardLock.
+type shardLock struct {
+	m    locks.NativeMutex
+	spec lockreg.Spec
+}
+
+// shard is one partition: a skiplist under a swappable lock. Padded so
+// neighbouring shards' hot lock pointers do not false-share.
+type shard struct {
+	// cur is the advertised lock. Request paths load it, acquire, and
+	// re-validate; SwapShard publishes a replacement while holding the
+	// previous lock.
+	cur atomic.Pointer[shardLock]
+	// epoch counts completed swaps.
+	epoch atomic.Uint64
+	// swapMu serializes swappers on this shard. Without it, two
+	// concurrent swaps could publish over each other's lock without
+	// holding it, re-opening the two-locks-live window the
+	// drain-and-validate protocol exists to close.
+	swapMu sync.Mutex
+	store  *minikv.SkipList
+	_      [3]uint64
+}
+
+// acquire locks the shard's current lock, retrying when a swap won the
+// race between the load and the acquisition. The returned shardLock is
+// the one the caller actually holds — Unlock must go to exactly it.
+func (s *shard) acquire() *shardLock {
+	for {
+		l := s.cur.Load()
+		l.m.Lock()
+		if s.cur.Load() == l {
+			return l
+		}
+		// A swap completed while this goroutine was waiting: the lock it
+		// now holds no longer guards the shard. Release and retry on the
+		// newly advertised one.
+		l.m.Unlock()
+	}
+}
+
+// Config describes a Server.
+type Config struct {
+	// Shards is the partition count; values below 1 are raised to 1.
+	Shards int
+	// Locks supplies each shard's mutex policy at construction,
+	// assigned round-robin: shard i gets Locks[i % len(Locks)]. Empty
+	// means every shard runs CNA.
+	Locks []lockreg.Spec
+	// Env is the lock-construction environment (topology; MaxThreads is
+	// overridden by the slot-pool capacity).
+	Env lockreg.Env
+	// PoolCapacity bounds concurrent lock acquisitions across the whole
+	// server (the shared gonative slot pool). Zero means
+	// gonative.DefaultCapacity().
+	PoolCapacity int
+}
+
+// Server is the sharded KV store. Methods are safe for concurrent use
+// from arbitrary goroutines; no *locks.Thread appears anywhere in the
+// request path.
+type Server struct {
+	shards []shard
+	pool   *gonative.Pool
+	env    lockreg.Env
+}
+
+// New builds a Server with cfg's shard count and per-shard lock
+// policies.
+func New(cfg Config) *Server {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if len(cfg.Locks) == 0 {
+		cfg.Locks = []lockreg.Spec{lockreg.MustSpec("cna")}
+	}
+	if cfg.PoolCapacity < 1 {
+		cfg.PoolCapacity = gonative.DefaultCapacity()
+	}
+	env := cfg.Env
+	env.MaxThreads = cfg.PoolCapacity
+	srv := &Server{
+		shards: make([]shard, cfg.Shards),
+		pool:   gonative.NewPool(cfg.PoolCapacity, env.Topology),
+		env:    env,
+	}
+	for i := range srv.shards {
+		sh := &srv.shards[i]
+		sh.store = minikv.NewSkipList(uint64(i)*0x9e3779b97f4a7c15 + 0x5e17)
+		spec := cfg.Locks[i%len(cfg.Locks)]
+		sh.cur.Store(&shardLock{m: srv.buildLock(spec), spec: spec})
+	}
+	return srv
+}
+
+// buildLock constructs spec in goroutine-native form over the server's
+// shared slot pool (specs with their own native build — the stdlib
+// baselines — need no slots and bypass the pool).
+func (s *Server) buildLock(spec lockreg.Spec) locks.NativeMutex {
+	if spec.Native != nil {
+		return spec.Native(s.env)
+	}
+	return gonative.WrapWithPool(spec, s.env, s.pool)
+}
+
+// shardFor routes a key to its shard (same multiplicative hash as the
+// minikv sharded LRU, so hot ranks spread across shards).
+func (s *Server) shardFor(key uint64) *shard {
+	h := key * 0x9e3779b97f4a7c15
+	return &s.shards[h%uint64(len(s.shards))]
+}
+
+// Get returns the value stored under key.
+func (s *Server) Get(key uint64) (uint64, bool) {
+	sh := s.shardFor(key)
+	l := sh.acquire()
+	v, ok := sh.store.Get(key)
+	l.m.Unlock()
+	return v, ok
+}
+
+// Put stores value under key.
+func (s *Server) Put(key, value uint64) {
+	sh := s.shardFor(key)
+	l := sh.acquire()
+	sh.store.Put(key, value)
+	l.m.Unlock()
+}
+
+// Update applies f to the current value under key (ok reports whether
+// the key existed) and stores the result, all under the shard lock —
+// the read-modify-write the swap storm test counter-checks: a lost or
+// doubled Update would break the final sum.
+func (s *Server) Update(key uint64, f func(old uint64, ok bool) uint64) uint64 {
+	sh := s.shardFor(key)
+	l := sh.acquire()
+	old, ok := sh.store.Get(key)
+	v := f(old, ok)
+	sh.store.Put(key, v)
+	l.m.Unlock()
+	return v
+}
+
+// Shards returns the partition count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// Len returns the total number of keys across all shards (takes every
+// shard lock in turn).
+func (s *Server) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		l := sh.acquire()
+		n += sh.store.Len()
+		l.m.Unlock()
+	}
+	return n
+}
+
+// LockNames reports each shard's currently installed lock, in shard
+// order.
+func (s *Server) LockNames() []string {
+	out := make([]string, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.shards[i].cur.Load().spec.Name
+	}
+	return out
+}
+
+// Epoch returns shard i's swap count.
+func (s *Server) Epoch(i int) uint64 { return s.shards[i].epoch.Load() }
+
+// Epochs returns the total swap count across shards.
+func (s *Server) Epochs() uint64 {
+	var n uint64
+	for i := range s.shards {
+		n += s.shards[i].epoch.Load()
+	}
+	return n
+}
+
+// PoolStats reports (free, capacity) of the shared thread-slot pool —
+// after quiescence free must equal capacity, the leak check the storm
+// tests use.
+func (s *Server) PoolStats() (free, capacity int) {
+	return s.pool.Free(), s.pool.Capacity()
+}
+
+// SwapShard replaces shard i's lock with a fresh instance built from
+// spec, draining the current holder first (see the package comment for
+// the protocol). It returns the epoch after the swap. Safe to call
+// concurrently with request traffic and with other SwapShard calls.
+func (s *Server) SwapShard(i int, spec lockreg.Spec) uint64 {
+	if i < 0 || i >= len(s.shards) {
+		panic(fmt.Sprintf("kvserver: SwapShard(%d) on a %d-shard server", i, len(s.shards)))
+	}
+	sh := &s.shards[i]
+	nl := &shardLock{m: s.buildLock(spec), spec: spec}
+
+	sh.swapMu.Lock()
+	old := sh.cur.Load()
+	// Drain: once this Lock returns, no request is inside the shard's
+	// critical section, and none can re-enter under old — any acquirer
+	// of old from here on fails validation against the new pointer.
+	old.m.Lock()
+	sh.cur.Store(nl)
+	epoch := sh.epoch.Add(1)
+	old.m.Unlock()
+	sh.swapMu.Unlock()
+	return epoch
+}
+
+// SwapAll swaps every shard to spec and returns the server-wide swap
+// total afterwards.
+func (s *Server) SwapAll(spec lockreg.Spec) uint64 {
+	for i := range s.shards {
+		s.SwapShard(i, spec)
+	}
+	return s.Epochs()
+}

@@ -1,0 +1,344 @@
+package kvserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/lockreg"
+	"repro/internal/prng"
+	"repro/internal/stats"
+)
+
+// LoadSpec configures one load-generation run against a Server: the
+// key population and its skew, the operation mix, the worker count
+// (requests in flight), the measurement window, per-class SLO targets,
+// and optionally a live lock-swap rotation running under the traffic.
+type LoadSpec struct {
+	// Keys is the key-space size; zipfian ranks are scrambled across it
+	// (YCSB-style), so hot keys spread over shards. Zero means 1<<16.
+	Keys uint64
+	// Theta is the zipfian skew in [0, 1): 0 is the uniform baseline,
+	// 0.99 the conventional web-serving hot-key skew.
+	Theta float64
+	// ReadFrac is the Get fraction of the mix (the rest are Puts);
+	// e.g. 0.9 for a read-mostly cache. Clamped to [0, 1].
+	ReadFrac float64
+	// Workers is the number of concurrent request goroutines; values
+	// below 1 are raised to 1. The serving sweeps run 1x–4x GOMAXPROCS.
+	Workers int
+	// Duration is the measured window (default 100ms); Warmup runs
+	// untimed before it.
+	Duration time.Duration
+	Warmup   time.Duration
+	// Seed makes the generated key streams deterministic per worker.
+	Seed uint64
+	// GetSLO/PutSLO are per-op latency budgets; an op slower than its
+	// class budget counts one SLO violation. Zero disables tracking for
+	// that class.
+	GetSLO, PutSLO time.Duration
+	// Prefill loads every key before the run so Gets hit.
+	Prefill bool
+
+	// SwapEvery, when positive, rotates every shard's lock through
+	// SwapLocks at this cadence while the load runs — the live policy
+	// swap exercised as traffic management rather than as a test.
+	SwapEvery time.Duration
+	SwapLocks []lockreg.Spec
+
+	// SnapshotEvery, when positive, invokes OnLive at this cadence with
+	// percentiles merged from histogram snapshots taken while workers
+	// keep recording — the mid-run read path harness.Histogram.Snapshot
+	// exists for.
+	SnapshotEvery time.Duration
+	OnLive        func(LiveStats)
+
+	// Label overrides the lock-name component of result names (useful
+	// when shards run mixed policies); empty means the server's single
+	// installed lock name, or "mixed".
+	Label string
+}
+
+// LiveStats is one mid-run observation delivered to OnLive.
+type LiveStats struct {
+	Elapsed       time.Duration
+	Ops           uint64 // completed gets+puts so far
+	GetP99Ns      float64
+	PutP99Ns      float64
+	SLOViolations uint64
+	Swaps         uint64 // server-wide swap epochs so far
+}
+
+// Outcome is a finished run: one harness.Result per operation class
+// (schema repro-bench/v2 with the serving-path fields populated), plus
+// run-level accounting.
+type Outcome struct {
+	Results []harness.Result
+	// Swaps is how many lock swaps the rotation performed during the
+	// measured run (server-wide epoch delta).
+	Swaps uint64
+	// GetHits counts Gets that found their key (with Prefill the hit
+	// rate is 1 by construction; without it, it measures coverage).
+	GetHits uint64
+	Elapsed time.Duration
+}
+
+// opClass indexes the per-class accounting arrays.
+const (
+	classGet = iota
+	classPut
+	numClasses
+)
+
+var classNames = [numClasses]string{"get", "put"}
+
+// workerStats is one worker's per-class accounting. Histograms are
+// recorded with atomic bucket increments, so the live reporter can
+// snapshot them mid-run; the counters are atomics for the same reason.
+type workerStats struct {
+	hist       [numClasses]harness.Histogram
+	ops        [numClasses]atomic.Uint64
+	violations [numClasses]atomic.Uint64
+	hits       atomic.Uint64
+}
+
+// WorkloadName names the key distribution for result labels:
+// "uniform" or "zipf<theta>".
+func (s LoadSpec) WorkloadName() string {
+	if s.Theta == 0 {
+		return "uniform"
+	}
+	return fmt.Sprintf("zipf%.2f", s.Theta)
+}
+
+func (s LoadSpec) sloFor(class int) time.Duration {
+	if class == classGet {
+		return s.GetSLO
+	}
+	return s.PutSLO
+}
+
+// Run drives the load against srv and returns per-class results. The
+// request loop is what a serving worker does: draw a key, time the
+// call, record latency and SLO outcome — every op is timed (a serving
+// system accounts for each request; the 1-in-N sampling of the lock
+// microbenchmarks would miss tail violations).
+func Run(srv *Server, spec LoadSpec) Outcome {
+	if spec.Keys == 0 {
+		spec.Keys = 1 << 16
+	}
+	if spec.Workers < 1 {
+		spec.Workers = 1
+	}
+	if spec.Duration <= 0 {
+		spec.Duration = 100 * time.Millisecond
+	}
+	if spec.ReadFrac < 0 {
+		spec.ReadFrac = 0
+	}
+	if spec.ReadFrac > 1 {
+		spec.ReadFrac = 1
+	}
+
+	if spec.Prefill {
+		for k := uint64(0); k < spec.Keys; k++ {
+			srv.Put(k, k*3+1)
+		}
+	}
+
+	ws := make([]*workerStats, spec.Workers)
+	for i := range ws {
+		ws[i] = &workerStats{}
+	}
+
+	var started, stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := ws[w]
+			// Per-worker streams: the zipfian key draw and the mix coin
+			// come from independent deterministic generators.
+			keys := prng.NewZipf(spec.Seed+uint64(w)*0x9e3779b97f4a7c15, spec.Theta, spec.Keys)
+			coin := prng.New(spec.Seed ^ (uint64(w)*0xbf58476d1ce4e5b9 + 0xc01))
+			for !started.Load() { // warmup: run ops, discard accounting
+				key := keys.ScrambledNext()
+				if coin.Float64() < spec.ReadFrac {
+					srv.Get(key)
+				} else {
+					srv.Put(key, key)
+				}
+				if stop.Load() {
+					return
+				}
+			}
+			for !stop.Load() {
+				key := keys.ScrambledNext()
+				class := classPut
+				if coin.Float64() < spec.ReadFrac {
+					class = classGet
+				}
+				t0 := time.Now()
+				if class == classGet {
+					if _, ok := srv.Get(key); ok {
+						st.hits.Add(1)
+					}
+				} else {
+					srv.Put(key, key^0xabcd)
+				}
+				d := time.Since(t0)
+				st.hist[class].Record(d)
+				st.ops[class].Add(1)
+				if slo := spec.sloFor(class); slo > 0 && d > slo {
+					st.violations[class].Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Control plane: the swap rotation and the live reporter run beside
+	// the traffic, not inside it.
+	ctl := make(chan struct{})
+	var ctlWG sync.WaitGroup
+	if spec.SwapEvery > 0 && len(spec.SwapLocks) > 0 {
+		ctlWG.Add(1)
+		go func() {
+			defer ctlWG.Done()
+			tick := time.NewTicker(spec.SwapEvery)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-ctl:
+					return
+				case <-tick.C:
+					srv.SwapAll(spec.SwapLocks[i%len(spec.SwapLocks)])
+				}
+			}
+		}()
+	}
+	if spec.SnapshotEvery > 0 && spec.OnLive != nil {
+		ctlWG.Add(1)
+		go func() {
+			defer ctlWG.Done()
+			begin := time.Now()
+			tick := time.NewTicker(spec.SnapshotEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctl:
+					return
+				case <-tick.C:
+					var merged [numClasses]harness.Histogram
+					var live LiveStats
+					for _, st := range ws {
+						for c := 0; c < numClasses; c++ {
+							merged[c].Merge(st.hist[c].Snapshot())
+							live.Ops += st.ops[c].Load()
+							live.SLOViolations += st.violations[c].Load()
+						}
+					}
+					live.Elapsed = time.Since(begin)
+					live.GetP99Ns = merged[classGet].Percentile(99)
+					live.PutP99Ns = merged[classPut].Percentile(99)
+					live.Swaps = srv.Epochs()
+					spec.OnLive(live)
+				}
+			}
+		}()
+	}
+
+	time.Sleep(spec.Warmup)
+	epoch0 := srv.Epochs()
+	started.Store(true)
+	start := time.Now()
+	time.Sleep(spec.Duration)
+	stop.Store(true)
+	elapsed := time.Since(start)
+	wg.Wait()
+	close(ctl)
+	ctlWG.Wait()
+
+	return Outcome{
+		Results: collect(srv, spec, ws, elapsed),
+		Swaps:   srv.Epochs() - epoch0,
+		GetHits: sumHits(ws),
+		Elapsed: elapsed,
+	}
+}
+
+func sumHits(ws []*workerStats) uint64 {
+	var n uint64
+	for _, st := range ws {
+		n += st.hits.Load()
+	}
+	return n
+}
+
+// lockLabel names the lock column of results: the single installed
+// policy, or "mixed" when shards disagree.
+func lockLabel(srv *Server, spec LoadSpec) (label, wait string) {
+	if spec.Label != "" {
+		return spec.Label, ""
+	}
+	names := srv.LockNames()
+	for _, n := range names[1:] {
+		if n != names[0] {
+			return "mixed", ""
+		}
+	}
+	if s, ok := lockreg.Lookup(names[0]); ok {
+		return names[0], s.Wait
+	}
+	return names[0], ""
+}
+
+// collect folds the per-worker accounting into one harness.Result per
+// operation class, named
+// "kvserver/<workload>/t<workers>/<lock>/<class>" so sweeps across
+// locks, worker counts and skews compare by name in the regression
+// pipeline.
+func collect(srv *Server, spec LoadSpec, ws []*workerStats, elapsed time.Duration) []harness.Result {
+	label, wait := lockLabel(srv, spec)
+	out := make([]harness.Result, 0, numClasses)
+	for c := 0; c < numClasses; c++ {
+		merged := &harness.Histogram{}
+		perWorker := make([]uint64, len(ws))
+		var total, violations uint64
+		for i, st := range ws {
+			merged.Merge(st.hist[c].Snapshot())
+			perWorker[i] = st.ops[c].Load()
+			total += perWorker[i]
+			violations += st.violations[c].Load()
+		}
+		if total == 0 {
+			continue // class not in the mix (pure-put or pure-get run)
+		}
+		r := harness.Result{
+			Name: fmt.Sprintf("kvserver/%s/t%d/%s/%s",
+				spec.WorkloadName(), spec.Workers, label, classNames[c]),
+			Lock:       label,
+			Workload:   "kvserver/" + spec.WorkloadName(),
+			WaitPolicy: wait,
+			Threads:    spec.Workers,
+			Throughput: float64(total) / (float64(elapsed.Nanoseconds()) / 1000),
+			Fairness:   stats.FairnessFactor(perWorker),
+			TotalOps:   total,
+			OpClass:    classNames[c],
+		}
+		if merged.Samples() > 0 {
+			r.P50Ns = merged.Percentile(50)
+			r.P95Ns = merged.Percentile(95)
+			r.P99Ns = merged.Percentile(99)
+			r.LatencySamples = merged.Samples()
+		}
+		if slo := spec.sloFor(c); slo > 0 {
+			r.SLOTargetNs = float64(slo.Nanoseconds())
+			r.SLOViolations = violations
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package kvserver
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/lockreg"
+)
+
+func shortLoad(theta float64) LoadSpec {
+	return LoadSpec{
+		Keys:     1 << 10,
+		Theta:    theta,
+		ReadFrac: 0.9,
+		Workers:  4,
+		Duration: 40 * time.Millisecond,
+		Seed:     7,
+		GetSLO:   500 * time.Microsecond,
+		PutSLO:   time.Millisecond,
+		Prefill:  true,
+	}
+}
+
+func TestLoadgenProducesPerClassResults(t *testing.T) {
+	srv := New(testConfig(4, "cna"))
+	out := Run(srv, shortLoad(0.99))
+
+	if len(out.Results) != 2 {
+		t.Fatalf("results = %d, want get+put", len(out.Results))
+	}
+	classes := map[string]harness.Result{}
+	for _, r := range out.Results {
+		classes[r.OpClass] = r
+	}
+	for _, class := range []string{"get", "put"} {
+		r, ok := classes[class]
+		if !ok {
+			t.Fatalf("no %s result", class)
+		}
+		if r.TotalOps == 0 || r.Throughput <= 0 {
+			t.Errorf("%s: no ops recorded: %+v", class, r)
+		}
+		if r.LatencySamples != r.TotalOps {
+			t.Errorf("%s: sampled %d of %d ops; the serving path times every op", class, r.LatencySamples, r.TotalOps)
+		}
+		if r.P50Ns <= 0 || r.P95Ns < r.P50Ns || r.P99Ns < r.P95Ns {
+			t.Errorf("%s: percentiles not ordered: p50=%v p95=%v p99=%v", class, r.P50Ns, r.P95Ns, r.P99Ns)
+		}
+		if r.SLOTargetNs == 0 {
+			t.Errorf("%s: SLO target not carried into the result", class)
+		}
+		if r.SLOViolations > r.TotalOps {
+			t.Errorf("%s: %d violations of %d ops", class, r.SLOViolations, r.TotalOps)
+		}
+		if r.Fairness < 0.5 || r.Fairness > 1 {
+			t.Errorf("%s: fairness %v outside [0.5, 1]", class, r.Fairness)
+		}
+		if r.Lock != "CNA" || r.Threads != 4 || r.Workload != "kvserver/zipf0.99" {
+			t.Errorf("%s: mislabelled result: %+v", class, r)
+		}
+		if want := "kvserver/zipf0.99/t4/CNA/" + class; r.Name != want {
+			t.Errorf("name = %q, want %q", r.Name, want)
+		}
+	}
+	gets := classes["get"].TotalOps
+	if out.GetHits != gets {
+		t.Errorf("prefilled run: %d hits of %d gets, want all hits", out.GetHits, gets)
+	}
+	if free, capn := srv.PoolStats(); free != capn {
+		t.Fatalf("pool %d/%d free after run", free, capn)
+	}
+}
+
+func TestLoadgenUniformBaselineAndPureMix(t *testing.T) {
+	srv := New(testConfig(2, "std"))
+	spec := shortLoad(0)
+	spec.ReadFrac = 1 // pure-get
+	spec.Duration = 20 * time.Millisecond
+	out := Run(srv, spec)
+	if len(out.Results) != 1 || out.Results[0].OpClass != "get" {
+		t.Fatalf("pure-get run produced %+v", out.Results)
+	}
+	if wl := out.Results[0].Workload; wl != "kvserver/uniform" {
+		t.Fatalf("workload label = %q", wl)
+	}
+	if out.Results[0].WaitPolicy != "runtime" {
+		t.Fatalf("wait policy = %q, want runtime (std)", out.Results[0].WaitPolicy)
+	}
+}
+
+func TestLoadgenLiveSnapshots(t *testing.T) {
+	srv := New(testConfig(2, "cna"))
+	spec := shortLoad(0.99)
+	spec.Duration = 60 * time.Millisecond
+	spec.SnapshotEvery = 10 * time.Millisecond
+	var calls atomic.Uint64
+	var lastOps atomic.Uint64
+	spec.OnLive = func(ls LiveStats) {
+		calls.Add(1)
+		if ls.Ops < lastOps.Load() {
+			t.Errorf("live ops went backwards: %d -> %d", lastOps.Load(), ls.Ops)
+		}
+		lastOps.Store(ls.Ops)
+	}
+	out := Run(srv, spec)
+	if calls.Load() == 0 {
+		t.Fatal("OnLive never invoked")
+	}
+	if len(out.Results) == 0 {
+		t.Fatal("no results")
+	}
+}
+
+func TestLoadgenSwapRotationUnderTraffic(t *testing.T) {
+	srv := New(testConfig(2, "cna"))
+	spec := shortLoad(0.99)
+	spec.Duration = 80 * time.Millisecond
+	spec.SwapEvery = 5 * time.Millisecond
+	spec.SwapLocks = []lockreg.Spec{
+		lockreg.MustSpec("std"),
+		lockreg.MustSpec("cna"),
+	}
+	out := Run(srv, spec)
+	if out.Swaps == 0 {
+		t.Fatal("rotation performed no swaps during the run")
+	}
+	// With rotation on, the lock column may legitimately be any of the
+	// rotated names (sampled at collection time) — but never empty.
+	for _, r := range out.Results {
+		if r.Lock == "" {
+			t.Errorf("empty lock label on %q", r.Name)
+		}
+	}
+	if free, capn := srv.PoolStats(); free != capn {
+		t.Fatalf("pool %d/%d free after swap-rotation run", free, capn)
+	}
+}
+
+func TestLoadgenMixedLabel(t *testing.T) {
+	srv := New(testConfig(2, "cna", "std"))
+	spec := shortLoad(0.5)
+	spec.Duration = 15 * time.Millisecond
+	out := Run(srv, spec)
+	for _, r := range out.Results {
+		if r.Lock != "mixed" {
+			t.Errorf("per-shard policies differ; lock label = %q, want mixed", r.Lock)
+		}
+	}
+}
+
+func TestWriteMarkdownRendersSLOTable(t *testing.T) {
+	srv := New(testConfig(2, "cna"))
+	out := Run(srv, shortLoad(0.99))
+	report := harness.NewReport(true, out.Results)
+	var b strings.Builder
+	if err := WriteMarkdown(&b, report); err != nil {
+		t.Fatal(err)
+	}
+	md := b.String()
+	for _, want := range []string{
+		"# kvserver — serving under load",
+		"## Workload `kvserver/zipf0.99`",
+		"| lock | workers | class |",
+		"| CNA | 4 | get |",
+		"| CNA | 4 | put |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestReportRoundTripsThroughHarness pins schema compatibility: a
+// kvserver report written as JSON reads back through the tolerant v2
+// reader with the serving-path fields intact.
+func TestReportRoundTripsThroughHarness(t *testing.T) {
+	srv := New(testConfig(2, "cna"))
+	out := Run(srv, shortLoad(0.99))
+	report := harness.NewReport(true, out.Results)
+	var b strings.Builder
+	if err := report.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := harness.ReadReport(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("kvserver report does not parse as %s: %v", harness.ReportSchema, err)
+	}
+	if back.Schema != harness.ReportSchema {
+		t.Fatalf("schema = %q", back.Schema)
+	}
+	if len(back.Results) != len(out.Results) {
+		t.Fatalf("round trip lost results: %d != %d", len(back.Results), len(out.Results))
+	}
+	for i, r := range back.Results {
+		if r.OpClass != out.Results[i].OpClass || r.SLOTargetNs != out.Results[i].SLOTargetNs ||
+			r.SLOViolations != out.Results[i].SLOViolations {
+			t.Errorf("serving fields dropped in round trip: %+v vs %+v", r, out.Results[i])
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package prng
+
+import "math"
+
+// Zipf is a bounded zipfian generator over the ranks [0, n): rank 0 is
+// the hottest key, rank 1 the second hottest, and the probability of
+// rank k is proportional to 1/(k+1)^theta. It implements the
+// quantile-function method of Gray et al. ("Quickly Generating
+// Billion-Record Synthetic Databases", SIGMOD 1994) — the same
+// construction YCSB's workload generator uses — so a draw is a handful
+// of float operations with no rejection loop and no allocation.
+//
+// theta 0 degenerates to the uniform distribution (every rank equally
+// likely); theta must be below 1, where the harmonic normalisation
+// changes shape. Web-serving key popularity is conventionally modelled
+// at theta ≈ 0.99 (YCSB's default), which sends roughly half of all
+// draws to the hottest ~1% of ranks.
+//
+// A Zipf is deterministic for a given (seed, theta, n) and is not safe
+// for concurrent use: give each worker its own, seeded distinctly, the
+// same way per-thread Xoroshiro streams are used.
+type Zipf struct {
+	rng   Xoroshiro
+	n     uint64
+	theta float64
+	// Precomputed constants of the quantile function.
+	alpha, zetan, eta, half float64
+}
+
+// zeta returns the generalized harmonic number sum_{i=1..n} 1/i^theta.
+// O(n) at construction time only; Next never recomputes it.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// NewZipf returns a generator of zipfian ranks in [0, n) with skew
+// theta in [0, 1), seeded with seed. It panics on n == 0 or theta
+// outside [0, 1) — construction-time programming errors, like Intn's
+// contract. Construction is O(n) (one zeta sum); Next is O(1).
+func NewZipf(seed uint64, theta float64, n uint64) *Zipf {
+	if n == 0 {
+		panic("prng: NewZipf with n == 0")
+	}
+	if theta < 0 || theta >= 1 {
+		panic("prng: NewZipf theta must be in [0, 1)")
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.rng.Seed(seed)
+	if theta > 0 {
+		z.zetan = zeta(n, theta)
+		z.alpha = 1 / (1 - theta)
+		z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+		z.half = 1 + math.Pow(0.5, theta)
+	}
+	return z
+}
+
+// Next returns the next rank in [0, n). Allocation-free.
+func (z *Zipf) Next() uint64 {
+	if z.theta == 0 {
+		// Uniform baseline: same Lemire reduction as Intn, kept inline so
+		// the uniform and skewed paths share one generator type.
+		return (uint64(z.rng.Uint32()) * z.n) >> 32
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.half {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n { // float roundoff at u→1 can land exactly on n
+		k = z.n - 1
+	}
+	return k
+}
+
+// N returns the rank-space bound the generator draws from.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Theta returns the configured skew.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// ScrambledNext is Next with the rank run through a 64-bit mix, so the
+// hot ranks land on pseudo-random keys spread across the whole key
+// space (and therefore across shards of a hashed keyspace) instead of
+// clustering at 0, 1, 2, ... — YCSB's "scrambled zipfian". The result
+// is still in [0, n) and still deterministic; ties between distinct
+// ranks are possible but negligible for n ≫ 1.
+func (z *Zipf) ScrambledNext() uint64 {
+	return mix64(z.Next()) % z.n
+}
+
+// mix64 is SplitMix64's finalizer: a cheap invertible 64-bit mix.
+func mix64(v uint64) uint64 {
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}

@@ -1,0 +1,151 @@
+package prng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(42, 0.99, 1000)
+	b := NewZipf(42, 0.99, 1000)
+	for i := 0; i < 10000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("draw %d: same seed diverged (%d != %d)", i, av, bv)
+		}
+	}
+	c := NewZipf(43, 0.99, 1000)
+	same := 0
+	for i := 0; i < 10000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	// Different seeds must produce different streams. Zipfian draws
+	// collide often by construction (rank 0 dominates), so the bound is
+	// loose: identical streams would match all 10000 draws.
+	if same == 10000 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 0.99} {
+		for _, n := range []uint64{1, 2, 10, 100000} {
+			z := NewZipf(7, theta, n)
+			for i := 0; i < 20000; i++ {
+				if k := z.Next(); k >= n {
+					t.Fatalf("theta=%v n=%d: rank %d out of range", theta, n, k)
+				}
+				if k := z.ScrambledNext(); k >= n {
+					t.Fatalf("theta=%v n=%d: scrambled rank %d out of range", theta, n, k)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfShape checks the distribution against its analytic mass: with
+// theta=0.99 over 1000 ranks, P(rank 0) = 1/zeta(1000, 0.99) ≈ 0.13 and
+// the hottest 10 ranks carry ≈ 38% of the mass; uniform (theta=0)
+// spreads mass evenly. 200k draws keep the sampling error well under
+// the asserted tolerances.
+func TestZipfShape(t *testing.T) {
+	const n, draws = 1000, 200000
+
+	z := NewZipf(1, 0.99, n)
+	counts := make([]uint64, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	zetan := zeta(n, 0.99)
+	wantP0 := 1 / zetan
+	gotP0 := float64(counts[0]) / draws
+	if math.Abs(gotP0-wantP0) > 0.01 {
+		t.Errorf("P(rank 0) = %.4f, want %.4f ± 0.01", gotP0, wantP0)
+	}
+	var top10, wantTop10 float64
+	for k := 0; k < 10; k++ {
+		top10 += float64(counts[k]) / draws
+		wantTop10 += 1 / (math.Pow(float64(k+1), 0.99) * zetan)
+	}
+	if math.Abs(top10-wantTop10) > 0.02 {
+		t.Errorf("hottest-10 mass = %.4f, want %.4f ± 0.02", top10, wantTop10)
+	}
+	// Monotone head: the rank-ordered property loadgens rely on.
+	if counts[0] <= counts[10] || counts[10] <= counts[200] {
+		t.Errorf("head not rank-ordered: c0=%d c10=%d c200=%d", counts[0], counts[10], counts[200])
+	}
+
+	u := NewZipf(1, 0, n)
+	ucounts := make([]uint64, n)
+	for i := 0; i < draws; i++ {
+		ucounts[u.Next()]++
+	}
+	for _, k := range []int{0, n / 2, n - 1} {
+		p := float64(ucounts[k]) / draws
+		if math.Abs(p-1.0/n) > 0.001 {
+			t.Errorf("uniform P(rank %d) = %.5f, want %.5f ± 0.001", k, p, 1.0/n)
+		}
+	}
+}
+
+// TestZipfScrambledSpreads: scrambling must move the hot mass off the
+// low ranks — the hottest scrambled key keeps rank 0's mass but lands
+// away from key 0 (for this seed), and the low-key band [0,10) no
+// longer carries the head's combined mass.
+func TestZipfScrambledSpreads(t *testing.T) {
+	const n, draws = 1000, 100000
+	z := NewZipf(9, 0.99, n)
+	counts := make([]uint64, n)
+	for i := 0; i < draws; i++ {
+		counts[z.ScrambledNext()]++
+	}
+	var low float64
+	for k := 0; k < 10; k++ {
+		low += float64(counts[k]) / draws
+	}
+	if low > 0.20 {
+		t.Errorf("scrambled low-key band holds %.2f of mass; hot keys did not spread", low)
+	}
+	// The mass itself is conserved: some key still carries ≈ rank 0's.
+	var max float64
+	for _, c := range counts {
+		if p := float64(c) / draws; p > max {
+			max = p
+		}
+	}
+	if wantP0 := 1 / zeta(n, 0.99); math.Abs(max-wantP0) > 0.02 {
+		t.Errorf("hottest scrambled key carries %.4f, want %.4f ± 0.02", max, wantP0)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, c := range []struct {
+		name  string
+		theta float64
+		n     uint64
+	}{
+		{"zero n", 0.5, 0},
+		{"theta 1", 1, 10},
+		{"negative theta", -0.1, 10},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewZipf did not panic", c.name)
+				}
+			}()
+			NewZipf(1, c.theta, c.n)
+		}()
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z := NewZipf(1, 0.99, 1<<20)
+	var sink uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink += z.Next()
+	}
+	_ = sink
+}
