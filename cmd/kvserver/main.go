@@ -7,6 +7,7 @@
 //
 //	go run ./cmd/kvserver -locks CNA,std -skew 0.99
 //	go run ./cmd/kvserver -locks CNA,CNA-park,std -threads 1x,4x -swap-every 20ms
+//	go run ./cmd/kvserver -locks CNA -threads 4x -deadline-frac 0.5 -max-retries 2
 //	go run ./cmd/kvserver -render -out kvserver.json   # re-render/validate JSON
 //
 // Each -locks entry is measured in its own run with every shard under
@@ -15,6 +16,12 @@
 // list *during* each run (live policy swap under traffic — throughput
 // and tails then include the handoff cost). -progress prints live
 // percentiles mid-run from concurrent histogram snapshots.
+//
+// -deadline-frac switches requests onto the bounded-wait path: each
+// request's shard-lock acquisition gets a deadline of frac × its class
+// SLO, retried up to -max-retries times (sleeping k × -retry-backoff
+// before retry k) and then shed. Shed requests appear in the shed
+// column of every output and never inflate ops or latency percentiles.
 package main
 
 import (
@@ -46,7 +53,10 @@ func main() {
 		warmup    = flag.Duration("warmup", 20*time.Millisecond, "untimed warmup per run")
 		getSLO    = flag.Duration("slo-get", 500*time.Microsecond, "per-Get latency budget (0 disables)")
 		putSLO    = flag.Duration("slo-put", time.Millisecond, "per-Put latency budget (0 disables)")
-		swapEvery = flag.Duration("swap-every", 0, "rotate all shard locks through -locks at this cadence during each run (0 = off)")
+		swapEvery = flag.Duration("swap-every", 0, "rotate all shard locks through -locks at this cadence during each run (0 = off; needs >=2 locks)")
+		dlFrac    = flag.Float64("deadline-frac", 0, "admission deadline as a fraction of the class SLO; timed-out acquires are shed (0 = untimed path)")
+		retries   = flag.Int("max-retries", 0, "re-admission attempts after a deadline miss before a request is shed")
+		backoff   = flag.Duration("retry-backoff", 0, "linear backoff unit: sleep k*backoff before retry k")
 		seed      = flag.Uint64("seed", 1, "load-generator seed")
 		short     = flag.Bool("short", false, "smoke mode for CI: shorter windows, fewer worker rungs")
 		progress  = flag.Bool("progress", false, "print live p99s mid-run (concurrent histogram snapshots)")
@@ -81,8 +91,30 @@ func main() {
 		os.Exit(2)
 	}
 	if *skew < 0 || *skew >= 1 {
-		fmt.Fprintln(os.Stderr, "kvserver: -skew must be in [0, 1)")
-		os.Exit(2)
+		die("-skew must be in [0, 1)")
+	}
+	// Flag-combination validation: catch configurations that would
+	// silently measure something other than what was asked for.
+	if *getSLO < 0 || *putSLO < 0 {
+		die("-slo-get/-slo-put must be >= 0 (0 disables tracking for that class)")
+	}
+	if *swapEvery < 0 {
+		die("-swap-every must be >= 0")
+	}
+	if *swapEvery > 0 && len(specs) < 2 {
+		die("-swap-every needs at least two -locks entries to rotate through; -locks %s resolves to just %s", *lockList, specs[0].Name)
+	}
+	if *dlFrac < 0 {
+		die("-deadline-frac must be >= 0")
+	}
+	if *dlFrac > 0 && *getSLO <= 0 && *putSLO <= 0 {
+		die("-deadline-frac derives deadlines from the class SLOs, but both -slo-get and -slo-put are disabled")
+	}
+	if *retries < 0 || *backoff < 0 {
+		die("-max-retries and -retry-backoff must be >= 0")
+	}
+	if *dlFrac == 0 && (*retries > 0 || *backoff > 0) {
+		die("-max-retries/-retry-backoff only apply to the deadline path; set -deadline-frac > 0")
 	}
 	window := *dur
 	if *short {
@@ -116,6 +148,10 @@ func main() {
 				PutSLO:   *putSLO,
 				Prefill:  true,
 				Label:    spec.Name, // stable label even when rotation is on
+
+				DeadlineFrac: *dlFrac,
+				MaxRetries:   *retries,
+				RetryBackoff: *backoff,
 			}
 			if *swapEvery > 0 {
 				load.SwapEvery = *swapEvery
@@ -124,15 +160,27 @@ func main() {
 			if *progress {
 				load.SnapshotEvery = window / 4
 				load.OnLive = func(ls kvserver.LiveStats) {
-					fmt.Printf("  [%6.0fms] %s t%d: %d ops, get p99 %.0fµs, put p99 %.0fµs, %d SLO violations, %d swaps\n",
+					fmt.Printf("  [%6.0fms] %s t%d: %d ops, get p99 %.0fµs, put p99 %.0fµs, %d SLO violations, %d shed, %d swaps\n",
 						float64(ls.Elapsed.Milliseconds()), spec.Name, workers, ls.Ops,
-						ls.GetP99Ns/1000, ls.PutP99Ns/1000, ls.SLOViolations, ls.Swaps)
+						ls.GetP99Ns/1000, ls.PutP99Ns/1000, ls.SLOViolations, ls.Shed, ls.Swaps)
 				}
 			}
 			out := kvserver.Run(srv, load)
 			results = append(results, out.Results...)
 			if *swapEvery > 0 {
 				fmt.Printf("%s t%d: %d live swaps during the run\n", spec.Name, workers, out.Swaps)
+			}
+			if *dlFrac > 0 {
+				var admitted uint64
+				for _, r := range out.Results {
+					admitted += r.TotalOps
+				}
+				rate := 0.0
+				if admitted+out.Shed > 0 {
+					rate = 100 * float64(out.Shed) / float64(admitted+out.Shed)
+				}
+				fmt.Printf("%s t%d: shed %d of %d requests (%.2f%%)\n",
+					spec.Name, workers, out.Shed, admitted+out.Shed, rate)
 			}
 		}
 	}
@@ -163,6 +211,13 @@ func main() {
 		fmt.Printf(" and %s", *mdOut)
 	}
 	fmt.Println()
+}
+
+// die reports a flag-validation error the way flag.Parse does (stderr,
+// exit 2), prefixed with the command name.
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kvserver: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 func readReportFile(path string) (harness.Report, error) {
@@ -197,10 +252,12 @@ func parseCounts(s string) ([]int, error) {
 		num, mult := tok, 1
 		if rest, ok := strings.CutSuffix(tok, "x"); ok {
 			num, mult = rest, gmp
+		} else if rest, ok := strings.CutSuffix(tok, "X"); ok {
+			num, mult = rest, gmp
 		}
 		n, err := strconv.Atoi(num)
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("kvserver: bad worker count %q", tok)
+			return nil, fmt.Errorf("kvserver: bad worker count %q in -threads: use a positive integer or 'Nx' for N*GOMAXPROCS (e.g. \"8\" or \"2x\")", tok)
 		}
 		raw = append(raw, n*mult)
 	}

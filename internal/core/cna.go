@@ -49,6 +49,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"repro/internal/locks"
@@ -74,6 +75,12 @@ type Node struct {
 	// empty queue and never recorded it (the uncontended fast path skips
 	// the lookup, which is why CNA matches MCS single-thread performance).
 	socket int32
+	// tstate is the timed-acquisition state machine, the same
+	// Scott-&-Scherer-style protocol MCS uses (see the tsClean constant
+	// block in internal/locks/mcs.go). It rides in the alignment hole
+	// after socket, so the node stays one cache line; untimed acquires
+	// never write it.
+	tstate atomic.Uint32
 	// secTail, meaningful only in a secondary-queue head, points at the
 	// secondary queue's last node so appending and flushing are O(1).
 	secTail atomic.Pointer[Node]
@@ -89,6 +96,49 @@ type Node struct {
 
 // nodeBytes is the per-node stride used by the cached-base index path.
 const nodeBytes = unsafe.Sizeof(Node{})
+
+// The timed-acquisition states, mirroring internal/locks/mcs.go (the
+// protocol is documented there in full): a timed waiter arms its node
+// before the tail swap publishes it, and on expiry races the granting
+// releaser with one CAS — tsArmed → tsAbandoned (waiter leaves, node
+// stays queued as a tombstone) versus tsArmed → tsGranted (releaser
+// commits; the waiter accepts the at-the-buzzer grant). Releasers skip
+// tombstones and retire them (→ tsClean) once their links are read.
+//
+// CNA adds one queue the MCS protocol does not have — the secondary
+// queue — and the invariant that makes abandonment bounded here is that
+// timed waiters never enter it: findSuccessor treats any timed node as
+// an acceptable successor, terminating its scan, so the runs it moves to
+// the secondary queue are all-untimed. (A queued node's timed-ness is
+// stable: arming precedes enqueue, so a tsClean node in the queue can
+// never become armed.) An abandoned node therefore always sits in the
+// main queue, where the very next release walk retires it — the same
+// bound MCS has — instead of lingering for a potentially unbounded
+// secondary tenure behind a 1/65536 flush draw.
+const (
+	tsClean     uint32 = iota // not a timed waiter / reusable
+	tsArmed                   // timed waiter enqueued, may still abandon
+	tsAbandoned               // waiter left; releasers skip and retire
+	tsGranted                 // releaser committed the grant to this node
+)
+
+// awaitReusable spins until a releaser's skip walk has retired a
+// previously abandoned node (see the tstate comment for the bound).
+func (n *Node) awaitReusable() {
+	var s spinwait.Spinner
+	for n.tstate.Load() != tsClean {
+		s.Pause()
+	}
+}
+
+// retireIfAbandoned returns an abandoned tombstone to its owner. For
+// the holder's own (tsClean) node this is one load of a line the
+// release just read the next link from.
+func (n *Node) retireIfAbandoned() {
+	if n.tstate.Load() == tsAbandoned {
+		n.tstate.Store(tsClean)
+	}
+}
 
 // clearNext resets the queue link with a plain (non-atomic) store. Legal
 // only before the tail Swap publishes the node: until then no other
@@ -292,6 +342,11 @@ func (l *Lock) Stats() *Stats {
 // node itself is one add from the thread's cached arena base.
 func (l *Lock) Lock(t *locks.Thread) {
 	me := (*Node)(unsafe.Add(l.arena.base(t), uintptr(t.AcquireSlot())*nodeBytes))
+	if me.tstate.Load() != tsClean {
+		// Node still queued from an earlier timed-out acquire on this
+		// slot; wait for a releaser's skip walk to retire it.
+		me.awaitReusable()
+	}
 	l.lockNode(me, t)
 }
 
@@ -303,6 +358,12 @@ func (l *Lock) Lock(t *locks.Thread) {
 // and returns the nesting slot.
 func (l *Lock) TryLock(t *locks.Thread) bool {
 	me := (*Node)(unsafe.Add(l.arena.base(t), uintptr(t.AcquireSlot())*nodeBytes))
+	if me.tstate.Load() != tsClean {
+		// Node still queued from a timed-out acquire: a non-blocking
+		// attempt fails fast rather than waiting for its retirement.
+		t.ReleaseSlot()
+		return false
+	}
 	me.clearNext()
 	me.socket = -1
 	if l.tail.CompareAndSwap(nil, me) {
@@ -319,6 +380,80 @@ func (l *Lock) TryLock(t *locks.Thread) bool {
 func (l *Lock) Unlock(t *locks.Thread) {
 	me := (*Node)(unsafe.Add(l.arena.base(t), uintptr(t.ReleaseSlot())*nodeBytes))
 	l.unlockNode(me, t)
+}
+
+// LockTimeout implements locks.TimedMutex via the tstate abandonment
+// protocol (see the tsClean constant block): arm the node, enqueue, run
+// the timed wait, and on expiry race the releaser for the node's fate.
+// A waiter that accepts an at-the-buzzer grant inherits whatever spin
+// value the releaser committed — possibly the secondary-queue head — so
+// its eventual unlock carries the secondary queue onward as usual.
+func (l *Lock) LockTimeout(t *locks.Thread, d time.Duration) bool {
+	me := (*Node)(unsafe.Add(l.arena.base(t), uintptr(t.AcquireSlot())*nodeBytes))
+	if me.tstate.Load() != tsClean {
+		t.ReleaseSlot()
+		return false // node still queued; a timed attempt fails fast
+	}
+	deadline := time.Now().Add(d)
+	me.clearNext()
+	// Unlike the untimed fast path, everything is prepared before the
+	// tail swap publishes the node: a releaser must never observe this
+	// (timed) node unarmed, and an abandoning waiter cannot come back to
+	// finish deferred setup.
+	me.spin.Store(nil)
+	me.socket = int32(t.Socket)
+	l.wait.Prepare(&me.wait)
+	me.tstate.Store(tsArmed)
+	tail := l.tail.Swap(me)
+	if tail == nil {
+		me.tstate.Store(tsClean)
+		// The socket is recorded, so unlockNode will read the spin word
+		// rather than derive it: store the empty-secondary sentinel.
+		me.spin.Store(granted)
+		if st := l.stats; st != nil {
+			st.Handover.Record(t.Socket)
+		}
+		return true
+	}
+	tail.next.Store(me)
+	if l.wait.WaitUntil(&me.wait, me.ready, deadline) {
+		me.tstate.Store(tsClean)
+		if st := l.stats; st != nil {
+			st.Handover.Record(t.Socket)
+		}
+		return true
+	}
+	// Expired: abandon (the node stays queued as a tombstone until a
+	// release walk retires it) unless the releaser already committed.
+	if me.tstate.CompareAndSwap(tsArmed, tsAbandoned) {
+		t.ReleaseSlot()
+		return false
+	}
+	// tsGranted: the releaser is (or just finished) storing the grant.
+	var s spinwait.Spinner
+	for !me.ready() {
+		s.Pause()
+	}
+	me.tstate.Store(tsClean)
+	if st := l.stats; st != nil {
+		st.Handover.Record(t.Socket)
+	}
+	return true
+}
+
+// grantNode commits the lock to target with spin value v unless target
+// abandoned its timed wait (false — the caller must skip the node). For
+// the common untimed node this is exactly the old handover sequence
+// plus one load of the line the spin store below writes anyway.
+func (l *Lock) grantNode(target, v *Node) bool {
+	if target.tstate.Load() != tsClean {
+		if !target.tstate.CompareAndSwap(tsArmed, tsGranted) {
+			return false // tsAbandoned
+		}
+	}
+	target.spin.Store(v)
+	l.wait.Wake(&target.wait)
+	return true
 }
 
 // lockNode runs the acquisition protocol on an explicit node.
@@ -361,78 +496,122 @@ func (l *Lock) lockNode(me *Node, t *locks.Thread) {
 // the local copy (threaded through findSuccessor, which may replace it
 // when it starts a secondary queue) stays authoritative for the whole
 // release.
+//
+// The body is a loop so a grant refused by an abandoned timed waiter
+// continues the release from that node (retiring the tombstone once its
+// links are read), exactly like the MCS skip walk — with cur standing
+// in for the holder's node and the holder-era sp and socket carried
+// along unchanged. For an all-untimed queue every grant succeeds on the
+// first attempt and the loop body runs once, matching the pre-timeout
+// release instruction for instruction.
 func (l *Lock) unlockNode(me *Node, t *locks.Thread) {
-	next := me.next.Load()
+	cur := me
+	next := cur.next.Load()
 	sp := granted
 	if me.socket != -1 {
 		sp = me.spin.Load()
 	}
-	if next == nil {
-		// No linked successor in the main queue.
-		if sp == granted {
-			// Secondary queue empty too: try to swing the tail to nil,
-			// leaving the lock completely free.
-			if l.tail.CompareAndSwap(me, nil) {
-				return
-			}
-		} else {
-			// Main queue looks empty but the secondary queue is not: try
-			// to make the secondary queue the new main queue and hand the
-			// lock to its head.
-			if l.tail.CompareAndSwap(me, sp.secTail.Load()) {
-				if st := l.stats; st != nil {
-					st.Flushes++
+	mySocket := me.socket
+	if mySocket == -1 {
+		mySocket = int32(t.Socket)
+	}
+	for {
+		if next == nil {
+			// No linked successor in the main queue.
+			if sp == granted {
+				// Secondary queue empty too: try to swing the tail to
+				// nil, leaving the lock completely free.
+				if l.tail.CompareAndSwap(cur, nil) {
+					cur.retireIfAbandoned()
+					return
 				}
-				sp.spin.Store(granted)
-				l.wait.Wake(&sp.wait)
-				return
+			} else {
+				// Main queue looks empty but the secondary queue is not:
+				// try to make the secondary queue the new main queue and
+				// hand the lock to its head. (Secondary nodes are never
+				// timed — see the tstate comment — so the grant below
+				// cannot fail in practice; the fallback costs nothing.)
+				if l.tail.CompareAndSwap(cur, sp.secTail.Load()) {
+					cur.retireIfAbandoned()
+					if st := l.stats; st != nil {
+						st.Flushes++
+					}
+					head := sp
+					sp = granted // the secondary queue is now the main queue
+					if l.grantNode(head, granted) {
+						return
+					}
+					cur = head
+					next = cur.next.Load()
+					continue
+				}
+			}
+			// The CAS failed: a thread swapped the tail after our
+			// next-load and is about to link in. Wait for the successor.
+			var s spinwait.Spinner
+			for next = cur.next.Load(); next == nil; next = cur.next.Load() {
+				s.Pause()
 			}
 		}
-		// The CAS failed: a thread swapped the tail after our next-load
-		// and is about to link in. Wait for the successor to appear.
-		var s spinwait.Spinner
-		for next = me.next.Load(); next == nil; next = me.next.Load() {
-			s.Pause()
-		}
-	}
+		// cur's successor link has been read; a tombstone cur (skipped in
+		// an earlier iteration) can be retired before the handover — its
+		// owner may reuse it the moment tstate returns to tsClean, which
+		// is why the store waits until the links are done with.
+		cur.retireIfAbandoned()
 
-	// Shuffle reduction (Section 6): under light contention, with an
-	// empty secondary queue, skip the successor scan with high
-	// probability and behave like MCS.
-	if l.opts.ShuffleReduction && sp == granted &&
-		t.RNG.Next()&l.opts.ShuffleMask != 0 {
-		next.spin.Store(granted)
-		l.wait.Wake(&next.wait)
-		return
-	}
-
-	// Determine the next lock holder and pass the lock via its spin field.
-	var succ *Node
-	if l.keepLockLocal(t) {
-		succ, sp = l.findSuccessor(me, next, sp, t)
-	}
-	switch {
-	case succ != nil:
-		// Hand over on-socket, forwarding the secondary-queue head (or
-		// the sentinel) in the successor's spin field. The value stored
-		// is always non-nil: an empty-queue entrant set it to granted.
-		succ.spin.Store(sp)
-		l.wait.Wake(&succ.wait)
-	case sp != granted:
-		// No same-socket successor (or fairness triggered): splice the
-		// secondary queue in front of our main-queue successor and hand
-		// the lock to the secondary head. Its secTail needs no clearing —
-		// the new holder never reads it (cf. Figure 1(g)).
-		sp.secTail.Load().next.Store(next)
-		if st := l.stats; st != nil {
-			st.Flushes++
+		// Shuffle reduction (Section 6): under light contention, with an
+		// empty secondary queue, skip the successor scan with high
+		// probability and behave like MCS.
+		if l.opts.ShuffleReduction && sp == granted &&
+			t.RNG.Next()&l.opts.ShuffleMask != 0 {
+			if l.grantNode(next, granted) {
+				return
+			}
+			cur = next
+			next = cur.next.Load()
+			continue
 		}
-		sp.spin.Store(granted)
-		l.wait.Wake(&sp.wait)
-	default:
-		// Secondary queue empty: plain MCS handover.
-		next.spin.Store(granted)
-		l.wait.Wake(&next.wait)
+
+		// Determine the next lock holder and pass the lock via its spin
+		// field.
+		var succ *Node
+		if l.keepLockLocal(t) {
+			succ, sp = l.findSuccessor(next, sp, mySocket)
+		}
+		switch {
+		case succ != nil:
+			// Hand over on-socket (or to a timed waiter the scan stopped
+			// at), forwarding the secondary-queue head (or the sentinel)
+			// in the successor's spin field. The value stored is always
+			// non-nil: an empty-queue entrant set it to granted.
+			if l.grantNode(succ, sp) {
+				return
+			}
+			cur = succ
+		case sp != granted:
+			// No same-socket successor (or fairness triggered): splice
+			// the secondary queue in front of our main-queue successor
+			// and hand the lock to the secondary head. Its secTail needs
+			// no clearing — the new holder never reads it (cf. Figure
+			// 1(g)).
+			sp.secTail.Load().next.Store(next)
+			if st := l.stats; st != nil {
+				st.Flushes++
+			}
+			head := sp
+			sp = granted // fully spliced: one main queue again
+			if l.grantNode(head, granted) {
+				return
+			}
+			cur = head
+		default:
+			// Secondary queue empty: plain MCS handover.
+			if l.grantNode(next, granted) {
+				return
+			}
+			cur = next
+		}
+		next = cur.next.Load()
 	}
 }
 
@@ -469,13 +648,15 @@ func (l *Lock) keepLockLocal(t *locks.Thread) bool {
 // successor (without touching the queues) if no such waiter is linked.
 // The holder's own spin word is deliberately not rewritten: ownership of
 // the secondary queue travels to the successor via the returned value.
-func (l *Lock) findSuccessor(me, next, sp *Node, t *locks.Thread) (*Node, *Node) {
-	mySocket := me.socket
-	if mySocket == -1 {
-		mySocket = int32(t.Socket)
-	}
-	// Check if my immediate successor is on the same socket.
-	if next.socket == mySocket {
+//
+// A timed waiter terminates the scan exactly like a same-socket one —
+// it is returned as the successor rather than moved — which is the
+// invariant keeping the secondary queue free of timed nodes (see the
+// tstate comment). The NUMA policy concedes one off-socket handover for
+// it; the release loop skips it in O(1) if it already abandoned.
+func (l *Lock) findSuccessor(next, sp *Node, mySocket int32) (*Node, *Node) {
+	// Check if my immediate successor is on the same socket (or timed).
+	if next.socket == mySocket || next.tstate.Load() != tsClean {
 		return next, sp
 	}
 	secHead := next
@@ -485,7 +666,7 @@ func (l *Lock) findSuccessor(me, next, sp *Node, t *locks.Thread) (*Node, *Node)
 
 	// Traverse the main queue.
 	for cur != nil {
-		if cur.socket == mySocket {
+		if cur.socket == mySocket || cur.tstate.Load() != tsClean {
 			// Move [secHead, secTail] to the secondary queue: append to
 			// its tail if it exists, otherwise the run becomes the queue
 			// and its head is the new spin value.
@@ -510,4 +691,5 @@ func (l *Lock) findSuccessor(me, next, sp *Node, t *locks.Thread) (*Node, *Node)
 }
 
 var _ locks.Mutex = (*Lock)(nil)
+var _ locks.TimedMutex = (*Lock)(nil)
 var _ locks.StatsEnabler = (*Lock)(nil)

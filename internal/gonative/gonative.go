@@ -47,9 +47,11 @@
 package gonative
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"repro/internal/lockreg"
@@ -253,6 +255,30 @@ func (m *Mutex) claim() *locks.Thread {
 	}
 }
 
+// claimTimeout is claim with a deadline: nil when no Unlock freed a
+// slot in time. The clock probes are amortized as in locks.PollTimeout.
+func (m *Mutex) claimTimeout(deadline time.Time) *locks.Thread {
+	if th := m.cache.Swap(nil); th != nil {
+		return th
+	}
+	if th := m.pool.tryClaim(); th != nil {
+		return th
+	}
+	var w spinwait.Spinner
+	for n := 1; ; n++ {
+		w.Pause()
+		if th := m.cache.Swap(nil); th != nil {
+			return th
+		}
+		if th := m.pool.tryClaim(); th != nil {
+			return th
+		}
+		if (w.Yielding() || n%64 == 0) && !time.Now().Before(deadline) {
+			return nil
+		}
+	}
+}
+
 // put returns a slot: to the empty reclaim cache when allowed, else to
 // the pool.
 func (m *Mutex) put(th *locks.Thread) {
@@ -290,6 +316,55 @@ func (m *Mutex) TryLock() bool {
 	}
 	m.holder = th
 	return true
+}
+
+// LockTimeout implements locks.TimedNativeMutex. The slot claim and
+// the inner acquisition share one deadline: a slot-starved adapter
+// spends part (possibly all) of the budget waiting for an Unlock to
+// free a slot, so the bounded-wait contract holds even when the inner
+// lock is never reached. Every registered lock implements
+// locks.TimedMutex; the TryLock-poll fallback only guards Mutexes
+// hand-built over locks outside the registry. A non-positive d
+// degrades to TryLock.
+func (m *Mutex) LockTimeout(d time.Duration) bool {
+	if d <= 0 {
+		return m.TryLock()
+	}
+	deadline := time.Now().Add(d)
+	th := m.claimTimeout(deadline)
+	if th == nil {
+		return false
+	}
+	if th.Depth() != 0 {
+		panic(fmt.Sprintf("gonative: pooled thread %d claimed at nesting depth %d", th.ID, th.Depth()))
+	}
+	var ok bool
+	if tm, timed := m.inner.(locks.TimedMutex); timed {
+		ok = tm.LockTimeout(th, time.Until(deadline))
+	} else {
+		ok = locks.PollTimeout(func() bool { return m.inner.TryLock(th) }, time.Until(deadline))
+	}
+	if !ok {
+		m.put(th)
+		return false
+	}
+	m.holder = th
+	return true
+}
+
+// LockContext acquires the mutex unless ctx is cancelled or its
+// deadline passes first (see LockWithContext, which this forwards to).
+func (m *Mutex) LockContext(ctx context.Context) error {
+	return LockWithContext(ctx, m)
+}
+
+// LockWithContext drives any timed native mutex from a context: nil
+// means the mutex is held; otherwise the context's error is returned
+// and the mutex is untouched. The wait is chunked into millisecond
+// timed acquires (locks.ContextLock), so cancellation — as opposed to
+// deadline expiry — is observed with at most that lag.
+func LockWithContext(ctx context.Context, m locks.TimedNativeMutex) error {
+	return locks.ContextLock(ctx, m)
 }
 
 // Unlock implements locks.NativeMutex: release the inner lock on the
@@ -341,7 +416,7 @@ func DefaultCapacity() int {
 // adapter. A zero env.MaxThreads sizes the pool at DefaultCapacity —
 // unlike the raw Build path, where it means one thread, the native
 // adapter cannot know its caller count up front.
-func New(name string, env lockreg.Env, opts ...lockreg.Option) (locks.NativeMutex, error) {
+func New(name string, env lockreg.Env, opts ...lockreg.Option) (locks.TimedNativeMutex, error) {
 	spec, ok := lockreg.Lookup(name)
 	if !ok {
 		return nil, lockreg.UnknownLockError(name)
@@ -350,7 +425,7 @@ func New(name string, env lockreg.Env, opts ...lockreg.Option) (locks.NativeMute
 }
 
 // MustNew is New for statically known names; it panics on unknown ones.
-func MustNew(name string, env lockreg.Env, opts ...lockreg.Option) locks.NativeMutex {
+func MustNew(name string, env lockreg.Env, opts ...lockreg.Option) locks.TimedNativeMutex {
 	m, err := New(name, env, opts...)
 	if err != nil {
 		panic(err)
@@ -361,7 +436,7 @@ func MustNew(name string, env lockreg.Env, opts ...lockreg.Option) locks.NativeM
 // Wrap builds spec in goroutine-native form (see New) with a private
 // slot pool (and the one-slot reclaim cache enabled — the pool is not
 // shared, so a parked slot steals capacity from nobody).
-func Wrap(spec lockreg.Spec, env lockreg.Env, opts ...lockreg.Option) locks.NativeMutex {
+func Wrap(spec lockreg.Spec, env lockreg.Env, opts ...lockreg.Option) locks.TimedNativeMutex {
 	if spec.Native != nil {
 		return spec.Native(env, opts...)
 	}
@@ -384,3 +459,4 @@ func WrapWithPool(spec lockreg.Spec, env lockreg.Env, pool *Pool, opts ...lockre
 }
 
 var _ locks.NativeMutex = (*Mutex)(nil)
+var _ locks.TimedNativeMutex = (*Mutex)(nil)

@@ -112,6 +112,12 @@ type Result struct {
 	OpClass       string  `json:"op_class,omitempty"`
 	SLOTargetNs   float64 `json:"slo_target_ns,omitempty"`
 	SLOViolations uint64  `json:"slo_violations,omitempty"`
+	// Shed counts requests abandoned at admission: their shard-lock
+	// acquisition timed out (after any configured retries), so they
+	// executed no operation and contribute to neither TotalOps nor the
+	// latency percentiles. Distinct from SLOViolations, which counts
+	// admitted requests that ran too slowly.
+	Shed uint64 `json:"shed,omitempty"`
 }
 
 // Run executes the configured benchmark.
@@ -376,17 +382,22 @@ func FormatResults(results []Result) string {
 		byName[r.Name] = append(byName[r.Name], r)
 	}
 	sort.Strings(names)
-	withLatency := false
+	withLatency, withShed := false, false
 	for _, r := range results {
 		if r.LatencySamples > 0 {
 			withLatency = true
-			break
+		}
+		if r.Shed > 0 {
+			withShed = true
 		}
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-30s %8s %14s %10s %10s", "benchmark", "threads", "ops/us", "relstddev", "fairness")
 	if withLatency {
 		fmt.Fprintf(&b, " %10s %10s", "p50(ns)", "p99(ns)")
+	}
+	if withShed {
+		fmt.Fprintf(&b, " %10s", "shed")
 	}
 	b.WriteByte('\n')
 	for _, name := range names {
@@ -401,6 +412,9 @@ func FormatResults(results []Result) string {
 				} else {
 					fmt.Fprintf(&b, " %10s %10s", "-", "-")
 				}
+			}
+			if withShed {
+				fmt.Fprintf(&b, " %10d", r.Shed)
 			}
 			b.WriteByte('\n')
 		}

@@ -40,15 +40,23 @@
 package kvserver
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/gonative"
 	"repro/internal/lockreg"
 	"repro/internal/locks"
 	"repro/internal/minikv"
 )
+
+// ErrDeadline is returned by the *Within request forms when the shard
+// lock could not be acquired within the request's budget. The request
+// touched no data; the caller decides between retrying (with backoff)
+// and shedding the request.
+var ErrDeadline = errors.New("kvserver: deadline exceeded acquiring shard lock")
 
 // shardLock pairs a built goroutine-native lock with the Spec it was
 // built from, so reports and swap rotations know what is installed.
@@ -90,6 +98,29 @@ func (s *shard) acquire() *shardLock {
 		// A swap completed while this goroutine was waiting: the lock it
 		// now holds no longer guards the shard. Release and retry on the
 		// newly advertised one.
+		l.m.Unlock()
+	}
+}
+
+// acquireWithin is acquire with a deadline. The swap-retry loop
+// recomputes the remaining budget on each pass, so a request that
+// loses a swap race mid-wait still honours its original deadline
+// rather than restarting it. Every registered lock is timed end to end
+// (locks.TimedNativeMutex); a hand-installed untimed lock degrades to
+// a blocking acquire, never to corruption.
+func (s *shard) acquireWithin(deadline time.Time) (*shardLock, bool) {
+	for {
+		l := s.cur.Load()
+		if tm, ok := l.m.(locks.TimedNativeMutex); ok {
+			if !tm.LockTimeout(time.Until(deadline)) {
+				return nil, false
+			}
+		} else {
+			l.m.Lock()
+		}
+		if s.cur.Load() == l {
+			return l, true
+		}
 		l.m.Unlock()
 	}
 }
@@ -180,6 +211,33 @@ func (s *Server) Put(key, value uint64) {
 	l := sh.acquire()
 	sh.store.Put(key, value)
 	l.m.Unlock()
+}
+
+// GetWithin is Get with an admission deadline: if the shard lock is
+// not acquired within d, the request is abandoned untouched and
+// ErrDeadline returned. A non-positive d degrades to a single TryLock
+// probe.
+func (s *Server) GetWithin(key uint64, d time.Duration) (uint64, bool, error) {
+	sh := s.shardFor(key)
+	l, ok := sh.acquireWithin(time.Now().Add(d))
+	if !ok {
+		return 0, false, ErrDeadline
+	}
+	v, found := sh.store.Get(key)
+	l.m.Unlock()
+	return v, found, nil
+}
+
+// PutWithin is Put with an admission deadline (see GetWithin).
+func (s *Server) PutWithin(key, value uint64, d time.Duration) error {
+	sh := s.shardFor(key)
+	l, ok := sh.acquireWithin(time.Now().Add(d))
+	if !ok {
+		return ErrDeadline
+	}
+	sh.store.Put(key, value)
+	l.m.Unlock()
+	return nil
 }
 
 // Update applies f to the current value under key (ok reports whether

@@ -42,6 +42,23 @@ type LoadSpec struct {
 	// Prefill loads every key before the run so Gets hit.
 	Prefill bool
 
+	// DeadlineFrac, when positive, derives a per-request admission
+	// deadline from the request's class SLO (deadline = frac × SLO) and
+	// issues the request through the timed path (GetWithin/PutWithin): a
+	// request whose shard-lock acquisition outlives its deadline is
+	// retried up to MaxRetries times and then shed — counted in the
+	// shed outcome class, excluded from ops and latency percentiles.
+	// Shedding is distinct from an SLO violation, which is an admitted
+	// request that ran too slowly. Classes with a zero SLO stay on the
+	// untimed path.
+	DeadlineFrac float64
+	// MaxRetries bounds re-admission attempts after a deadline miss
+	// (0 = shed on the first miss).
+	MaxRetries int
+	// RetryBackoff is the sleep before retry k, scaled linearly
+	// (k × RetryBackoff); zero retries immediately.
+	RetryBackoff time.Duration
+
 	// SwapEvery, when positive, rotates every shard's lock through
 	// SwapLocks at this cadence while the load runs — the live policy
 	// swap exercised as traffic management rather than as a test.
@@ -51,7 +68,9 @@ type LoadSpec struct {
 	// SnapshotEvery, when positive, invokes OnLive at this cadence with
 	// percentiles merged from histogram snapshots taken while workers
 	// keep recording — the mid-run read path harness.Histogram.Snapshot
-	// exists for.
+	// exists for. One final snapshot is always delivered after the
+	// workers drain, so the last observation reflects the whole run
+	// even when Duration is shorter than the cadence.
 	SnapshotEvery time.Duration
 	OnLive        func(LiveStats)
 
@@ -68,6 +87,7 @@ type LiveStats struct {
 	GetP99Ns      float64
 	PutP99Ns      float64
 	SLOViolations uint64
+	Shed          uint64 // requests abandoned at admission so far
 	Swaps         uint64 // server-wide swap epochs so far
 }
 
@@ -82,6 +102,9 @@ type Outcome struct {
 	// GetHits counts Gets that found their key (with Prefill the hit
 	// rate is 1 by construction; without it, it measures coverage).
 	GetHits uint64
+	// Shed totals requests abandoned at admission across classes
+	// (deadline path only; see LoadSpec.DeadlineFrac).
+	Shed    uint64
 	Elapsed time.Duration
 }
 
@@ -101,6 +124,7 @@ type workerStats struct {
 	hist       [numClasses]harness.Histogram
 	ops        [numClasses]atomic.Uint64
 	violations [numClasses]atomic.Uint64
+	shed       [numClasses]atomic.Uint64
 	hits       atomic.Uint64
 }
 
@@ -181,8 +205,20 @@ func Run(srv *Server, spec LoadSpec) Outcome {
 				if coin.Float64() < spec.ReadFrac {
 					class = classGet
 				}
+				slo := spec.sloFor(class)
+				var budget time.Duration
+				if spec.DeadlineFrac > 0 && slo > 0 {
+					budget = time.Duration(spec.DeadlineFrac * float64(slo))
+				}
 				t0 := time.Now()
-				if class == classGet {
+				if budget > 0 {
+					if !runTimed(srv, spec, st, class, key, budget) {
+						// Shed: no op ran; the request leaves no latency
+						// sample and no op count, only the shed mark.
+						st.shed[class].Add(1)
+						continue
+					}
+				} else if class == classGet {
 					if _, ok := srv.Get(key); ok {
 						st.hits.Add(1)
 					}
@@ -192,7 +228,7 @@ func Run(srv *Server, spec LoadSpec) Outcome {
 				d := time.Since(t0)
 				st.hist[class].Record(d)
 				st.ops[class].Add(1)
-				if slo := spec.sloFor(class); slo > 0 && d > slo {
+				if slo > 0 && d > slo {
 					st.violations[class].Add(1)
 				}
 			}
@@ -224,27 +260,35 @@ func Run(srv *Server, spec LoadSpec) Outcome {
 		go func() {
 			defer ctlWG.Done()
 			begin := time.Now()
+			emit := func() {
+				var merged [numClasses]harness.Histogram
+				var live LiveStats
+				for _, st := range ws {
+					for c := 0; c < numClasses; c++ {
+						merged[c].Merge(st.hist[c].Snapshot())
+						live.Ops += st.ops[c].Load()
+						live.SLOViolations += st.violations[c].Load()
+						live.Shed += st.shed[c].Load()
+					}
+				}
+				live.Elapsed = time.Since(begin)
+				live.GetP99Ns = merged[classGet].Percentile(99)
+				live.PutP99Ns = merged[classPut].Percentile(99)
+				live.Swaps = srv.Epochs()
+				spec.OnLive(live)
+			}
 			tick := time.NewTicker(spec.SnapshotEvery)
 			defer tick.Stop()
 			for {
 				select {
 				case <-ctl:
+					// Workers have drained (ctl closes after wg.Wait), so
+					// this last snapshot is the run's final state — and the
+					// guaranteed delivery when the host starved the ticker.
+					emit()
 					return
 				case <-tick.C:
-					var merged [numClasses]harness.Histogram
-					var live LiveStats
-					for _, st := range ws {
-						for c := 0; c < numClasses; c++ {
-							merged[c].Merge(st.hist[c].Snapshot())
-							live.Ops += st.ops[c].Load()
-							live.SLOViolations += st.violations[c].Load()
-						}
-					}
-					live.Elapsed = time.Since(begin)
-					live.GetP99Ns = merged[classGet].Percentile(99)
-					live.PutP99Ns = merged[classPut].Percentile(99)
-					live.Swaps = srv.Epochs()
-					spec.OnLive(live)
+					emit()
 				}
 			}
 		}()
@@ -265,7 +309,46 @@ func Run(srv *Server, spec LoadSpec) Outcome {
 		Results: collect(srv, spec, ws, elapsed),
 		Swaps:   srv.Epochs() - epoch0,
 		GetHits: sumHits(ws),
+		Shed:    sumShed(ws),
 		Elapsed: elapsed,
+	}
+}
+
+func sumShed(ws []*workerStats) uint64 {
+	var n uint64
+	for _, st := range ws {
+		for c := 0; c < numClasses; c++ {
+			n += st.shed[c].Load()
+		}
+	}
+	return n
+}
+
+// runTimed issues one request through the deadline path, retrying a
+// missed admission up to spec.MaxRetries times with linear backoff.
+// false means the request was shed. An admitted request's latency (as
+// seen by the caller's clock) includes any backoff it slept through —
+// retries buy admission at the price of the SLO clock still running.
+func runTimed(srv *Server, spec LoadSpec, st *workerStats, class int, key uint64, budget time.Duration) bool {
+	for attempt := 0; ; attempt++ {
+		var err error
+		if class == classGet {
+			var ok bool
+			if _, ok, err = srv.GetWithin(key, budget); err == nil && ok {
+				st.hits.Add(1)
+			}
+		} else {
+			err = srv.PutWithin(key, key^0xabcd, budget)
+		}
+		if err == nil {
+			return true
+		}
+		if attempt >= spec.MaxRetries {
+			return false
+		}
+		if spec.RetryBackoff > 0 {
+			time.Sleep(time.Duration(attempt+1) * spec.RetryBackoff)
+		}
 	}
 }
 
@@ -306,14 +389,15 @@ func collect(srv *Server, spec LoadSpec, ws []*workerStats, elapsed time.Duratio
 	for c := 0; c < numClasses; c++ {
 		merged := &harness.Histogram{}
 		perWorker := make([]uint64, len(ws))
-		var total, violations uint64
+		var total, violations, shed uint64
 		for i, st := range ws {
 			merged.Merge(st.hist[c].Snapshot())
 			perWorker[i] = st.ops[c].Load()
 			total += perWorker[i]
 			violations += st.violations[c].Load()
+			shed += st.shed[c].Load()
 		}
-		if total == 0 {
+		if total == 0 && shed == 0 {
 			continue // class not in the mix (pure-put or pure-get run)
 		}
 		r := harness.Result{
@@ -338,6 +422,7 @@ func collect(srv *Server, spec LoadSpec, ws []*workerStats, elapsed time.Duratio
 			r.SLOTargetNs = float64(slo.Nanoseconds())
 			r.SLOViolations = violations
 		}
+		r.Shed = shed
 		out = append(out, r)
 	}
 	return out

@@ -150,8 +150,10 @@ type Spec struct {
 	// (internal/gonative, repro.NewMutex) wraps Build's lock in the
 	// thread-slot adapter instead. Kept as a Spec field so "how do I get
 	// this lock as a sync.Locker" is answered by the registry, not by
-	// callers special-casing names.
-	Native func(Env, ...Option) locks.NativeMutex
+	// callers special-casing names. The native contract is timed: every
+	// build supports LockTimeout/LockContext (locks.ContextLock gives
+	// the context form away once LockTimeout exists).
+	Native func(Env, ...Option) locks.TimedNativeMutex
 }
 
 // registry holds Specs in registration order (the order All and Names
@@ -468,7 +470,7 @@ func init() {
 		Build: func(env Env, opts ...Option) locks.Mutex {
 			return locks.NewStd()
 		},
-		Native: func(env Env, opts ...Option) locks.NativeMutex {
+		Native: func(env Env, opts ...Option) locks.TimedNativeMutex {
 			return locks.NewStdNative()
 		},
 	})
@@ -480,7 +482,7 @@ func init() {
 		Build: func(env Env, opts ...Option) locks.Mutex {
 			return locks.NewStdRW()
 		},
-		Native: func(env Env, opts ...Option) locks.NativeMutex {
+		Native: func(env Env, opts ...Option) locks.TimedNativeMutex {
 			return locks.NewStdRWNative()
 		},
 	})

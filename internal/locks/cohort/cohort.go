@@ -20,6 +20,7 @@ package cohort
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/locks"
 	"repro/internal/waiter"
@@ -47,12 +48,31 @@ type Local interface {
 	// whether the previous holder passed global ownership along.
 	TryLock(t *locks.Thread, slot int) (acquired, globalPassed bool)
 	// Unlock releases the local lock. passGlobal tells the next local
-	// acquirer (which must exist if passGlobal is true) that it owns the
-	// global lock.
-	Unlock(t *locks.Thread, slot int, passGlobal bool)
+	// acquirer that it owns the global lock; delivered reports whether a
+	// waiter actually received the handover. With timed locals a waiter
+	// seen by HasWaiter may abandon before the pass lands — when
+	// delivered comes back false the caller still owns the global lock
+	// and must release it itself.
+	Unlock(t *locks.Thread, slot int, passGlobal bool) (delivered bool)
 	// HasWaiter reports whether another thread waits on this local lock.
 	// Only the holder may call it.
 	HasWaiter(t *locks.Thread, slot int) bool
+}
+
+// TimedLocal is a Local with deadline-bounded acquisition (MCSLocal).
+type TimedLocal interface {
+	Local
+	// LockTimeout attempts the local acquisition until the deadline.
+	// acquired=false means expiry (no local lock, no slot consumed by
+	// the local layer); globalPassed has Lock's meaning when acquired.
+	LockTimeout(t *locks.Thread, slot int, deadline time.Time) (acquired, globalPassed bool)
+}
+
+// TimedGlobal is a Global with deadline-bounded acquisition (the
+// backoff-TAS global; ticket globals cannot return a drawn ticket).
+type TimedGlobal interface {
+	Global
+	LockTimeout(t *locks.Thread, d time.Duration) bool
 }
 
 // DefaultMaxLocalPasses bounds consecutive same-socket handovers, the
@@ -174,13 +194,67 @@ func (c *Lock) TryLock(t *locks.Thread) bool {
 	return true
 }
 
+// LockTimeout implements locks.TimedMutex. With an MCS local and a
+// backoff global (C-BO-MCS) this is a real two-level timed protocol:
+// the timed local acquisition (abandonment protocol) with whatever
+// deadline budget remains spent on the timed global; a cohort pass
+// still short-circuits the global entirely. On a global timeout the
+// already-held local lock is released without passing — a local waiter
+// that took over acquires the global itself, exactly as after a no-pass
+// release. Ticket-shaped components cannot abandon a drawn ticket at
+// either level, so those composites degrade to a deadline-bounded
+// TryLock poll (cf. locks.Ticket.LockTimeout).
+func (c *Lock) LockTimeout(t *locks.Thread, d time.Duration) bool {
+	if t.Socket < 0 || t.Socket >= c.sockets {
+		panic(fmt.Sprintf("cohort: thread socket %d outside [0,%d)", t.Socket, c.sockets))
+	}
+	tl, lok := c.local[t.Socket].(TimedLocal)
+	tg, gok := c.global.(TimedGlobal)
+	if !lok || !gok {
+		return locks.PollTimeout(func() bool { return c.TryLock(t) }, d)
+	}
+	deadline := time.Now().Add(d)
+	slot := t.AcquireSlot()
+	acquired, passed := tl.LockTimeout(t, slot, deadline)
+	if !acquired {
+		t.ReleaseSlot()
+		return false
+	}
+	if passed {
+		// Global ownership arrived via cohort passing.
+		if h := c.handover; h != nil {
+			h.Record(t.Socket)
+		}
+		return true
+	}
+	if !tg.LockTimeout(t, time.Until(deadline)) {
+		// Local held, global expired: hand the local back without a
+		// pass. A successor there (delivered or not) owns no global
+		// state, so nothing else needs unwinding.
+		c.local[t.Socket].Unlock(t, slot, false)
+		t.ReleaseSlot()
+		return false
+	}
+	if h := c.handover; h != nil {
+		h.Record(t.Socket)
+	}
+	return true
+}
+
 // Unlock releases the composite lock.
 func (c *Lock) Unlock(t *locks.Thread) {
 	slot := t.ReleaseSlot()
 	s := t.Socket
 	if c.passes[s].n < c.maxPass && c.local[s].HasWaiter(t, slot) {
 		c.passes[s].n++
-		c.local[s].Unlock(t, slot, true)
+		if c.local[s].Unlock(t, slot, true) {
+			return
+		}
+		// The pass found nobody: every waiter HasWaiter saw abandoned
+		// its timed wait before the handover landed. The global lock is
+		// still ours — release it, or it leaks held forever.
+		c.passes[s].n = 0
+		c.global.Unlock(t)
 		return
 	}
 	c.passes[s].n = 0
@@ -202,4 +276,5 @@ func (c *Lock) Handovers() *locks.HandoverCounter {
 }
 
 var _ locks.Mutex = (*Lock)(nil)
+var _ locks.TimedMutex = (*Lock)(nil)
 var _ locks.StatsEnabler = (*Lock)(nil)

@@ -2,6 +2,7 @@ package cohort
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/locks"
 	"repro/internal/spinwait"
@@ -19,12 +20,39 @@ const (
 	mcsGotPass uint32 = 2 // acquired local lock; global ownership passed
 )
 
+// The timed-acquisition states, mirroring internal/locks/mcs.go where
+// the protocol is documented in full: arm before the tail swap
+// publishes the node, then on expiry one CAS decides the node's fate —
+// tsArmed → tsAbandoned (waiter leaves a tombstone the release walk
+// skips and retires) versus tsArmed → tsGranted (the releaser committed;
+// the waiter accepts at the buzzer).
+const (
+	tsClean     uint32 = iota // not a timed waiter / reusable
+	tsArmed                   // timed waiter enqueued, may still abandon
+	tsAbandoned               // waiter left; releasers skip and retire
+	tsGranted                 // releaser committed the grant to this node
+)
+
 type cohortMCSNode struct {
 	next   atomic.Pointer[cohortMCSNode]
 	status atomic.Uint32
+	// tstate is the timed-acquisition state machine (constants above),
+	// riding in the alignment hole after status; untimed acquires never
+	// write it.
+	tstate atomic.Uint32
 	wait   waiter.State
 	ready  func() bool // status has left mcsWait
 	_      [2]uint64   // pad to one 64-byte cache line
+}
+
+// awaitReusable spins until a release walk has retired a previously
+// abandoned node (bounded: the tombstone sits behind a holder, and
+// every local release walks and retires the tombstones it skips).
+func (n *cohortMCSNode) awaitReusable() {
+	var s spinwait.Spinner
+	for n.tstate.Load() != tsClean {
+		s.Pause()
+	}
 }
 
 // MCSLocal is an MCS lock extended with cohort passing: release can hand
@@ -56,6 +84,11 @@ func (l *MCSLocal) SetWait(p waiter.Policy) { l.wait = p }
 // Lock implements Local.
 func (l *MCSLocal) Lock(t *locks.Thread, slot int) bool {
 	n := &l.nodes[t.ID][slot]
+	if n.tstate.Load() != tsClean {
+		// Node still queued from an earlier timed-out acquire on this
+		// slot; wait for a release walk to retire it.
+		n.awaitReusable()
+	}
 	n.next.Store(nil)
 	n.status.Store(mcsWait)
 	prev := l.tail.Swap(n)
@@ -69,12 +102,55 @@ func (l *MCSLocal) Lock(t *locks.Thread, slot int) bool {
 	return n.status.Load() == mcsGotPass
 }
 
+// LockTimeout is the timed Local acquisition (C-BO-MCS's composite
+// LockTimeout uses it): the tstate abandonment protocol of
+// internal/locks/mcs.go on the cohort node. acquired=false means the
+// deadline passed without the local lock (the node may remain queued as
+// a tombstone until a release walk retires it); globalPassed has Lock's
+// meaning when acquired.
+func (l *MCSLocal) LockTimeout(t *locks.Thread, slot int, deadline time.Time) (acquired, globalPassed bool) {
+	n := &l.nodes[t.ID][slot]
+	if n.tstate.Load() != tsClean {
+		return false, false // node still queued; a timed attempt fails fast
+	}
+	n.next.Store(nil)
+	n.status.Store(mcsWait)
+	l.wait.Prepare(&n.wait)
+	// Arm before the tail swap publishes the node: a releaser must never
+	// observe this (timed) node unarmed.
+	n.tstate.Store(tsArmed)
+	prev := l.tail.Swap(n)
+	if prev == nil {
+		n.tstate.Store(tsClean)
+		n.status.Store(mcsNoPass)
+		return true, false
+	}
+	prev.next.Store(n)
+	if l.wait.WaitUntil(&n.wait, n.ready, deadline) {
+		n.tstate.Store(tsClean)
+		return true, n.status.Load() == mcsGotPass
+	}
+	if n.tstate.CompareAndSwap(tsArmed, tsAbandoned) {
+		return false, false
+	}
+	// tsGranted: the releaser is (or just finished) storing the grant.
+	var s spinwait.Spinner
+	for !n.ready() {
+		s.Pause()
+	}
+	n.tstate.Store(tsClean)
+	return true, n.status.Load() == mcsGotPass
+}
+
 // TryLock implements Local: one CAS on the empty local tail. Entering
 // an empty local queue can never receive a cohort pass (passing
 // requires a linked waiter), so globalPassed is always false on
 // success.
 func (l *MCSLocal) TryLock(t *locks.Thread, slot int) (acquired, globalPassed bool) {
 	n := &l.nodes[t.ID][slot]
+	if n.tstate.Load() != tsClean {
+		return false, false // node still queued from a timed-out acquire
+	}
 	n.next.Store(nil)
 	n.status.Store(mcsNoPass)
 	if l.tail.CompareAndSwap(nil, n) {
@@ -83,28 +159,60 @@ func (l *MCSLocal) TryLock(t *locks.Thread, slot int) (acquired, globalPassed bo
 	return false, false
 }
 
-// Unlock implements Local.
-func (l *MCSLocal) Unlock(t *locks.Thread, slot int, passGlobal bool) {
+// grantLocal commits the local handover to next unless next abandoned
+// its timed wait (false — the caller must skip the node).
+func (l *MCSLocal) grantLocal(next *cohortMCSNode, status uint32) bool {
+	if next.tstate.Load() != tsClean {
+		if !next.tstate.CompareAndSwap(tsArmed, tsGranted) {
+			return false // tsAbandoned
+		}
+	}
+	next.status.Store(status)
+	l.wait.Wake(&next.wait)
+	return true
+}
+
+// Unlock implements Local. delivered reports whether the handover (and
+// with it a passGlobal=true cohort pass) actually reached a waiter:
+// with timed waiters in the queue, every linked waiter may have
+// abandoned between HasWaiter and here, in which case the queue is
+// drained (tombstones retired), no one received the pass, and the
+// composite release must dispose of the global lock itself.
+func (l *MCSLocal) Unlock(t *locks.Thread, slot int, passGlobal bool) (delivered bool) {
 	n := &l.nodes[t.ID][slot]
 	status := mcsNoPass
 	if passGlobal {
 		status = mcsGotPass
 	}
-	next := n.next.Load()
-	if next == nil {
-		if !passGlobal && l.tail.CompareAndSwap(n, nil) {
-			return
+	cur := n
+	for {
+		next := cur.next.Load()
+		if next == nil {
+			if l.tail.CompareAndSwap(cur, nil) {
+				if cur != n {
+					cur.tstate.Store(tsClean) // retire the last tombstone
+				}
+				return false // queue drained: nothing delivered
+			}
+			// A successor has swapped the tail and is about to link in;
+			// wait for the link (a two-instruction window — the linker
+			// never parks inside it).
+			var s spinwait.Spinner
+			for next = cur.next.Load(); next == nil; next = cur.next.Load() {
+				s.Pause()
+			}
 		}
-		// passGlobal implies HasWaiter returned true, so a successor has
-		// at least swapped the tail; wait for it to link (a two-
-		// instruction window — the linker never parks inside it).
-		var s spinwait.Spinner
-		for next = n.next.Load(); next == nil; next = n.next.Load() {
-			s.Pause()
+		// cur's link has been read: an abandoned cur (skipped tombstone
+		// from an earlier iteration) can be retired now — its owner may
+		// reuse it the moment tstate returns to tsClean.
+		if cur != n {
+			cur.tstate.Store(tsClean)
 		}
+		if l.grantLocal(next, status) {
+			return true
+		}
+		cur = next
 	}
-	next.status.Store(status)
-	l.wait.Wake(&next.wait)
 }
 
 // HasWaiter implements Local.
@@ -162,14 +270,18 @@ func (l *TicketLocal) TryLock(t *locks.Thread, slot int) (acquired, globalPassed
 	return true, l.passFlag.Load() != 0
 }
 
-// Unlock implements Local.
-func (l *TicketLocal) Unlock(t *locks.Thread, slot int, passGlobal bool) {
+// Unlock implements Local. A drawn ticket is never abandoned (the
+// ticket cohorts' timed acquire polls TryLock and never queues), so a
+// pass always reaches the waiter HasWaiter saw: delivered is simply
+// passGlobal.
+func (l *TicketLocal) Unlock(t *locks.Thread, slot int, passGlobal bool) (delivered bool) {
 	if passGlobal {
 		l.passFlag.Store(1)
 	} else {
 		l.passFlag.Store(0)
 	}
 	l.state.Add(1)
+	return passGlobal
 }
 
 // HasWaiter implements Local.

@@ -2,6 +2,7 @@ package locks
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/spinwait"
 )
@@ -62,6 +63,38 @@ func (l *HBO) Lock(t *Thread) {
 // TryLock implements Mutex: one CAS, no backoff.
 func (l *HBO) TryLock(t *Thread) bool {
 	return l.state.CompareAndSwap(0, uint32(t.Socket)+1)
+}
+
+// LockTimeout implements TimedMutex: the socket-sensitive backoff loop
+// with a deadline check per backoff interval.
+func (l *HBO) LockTimeout(t *Thread, d time.Duration) bool {
+	me := uint32(t.Socket) + 1
+	if l.state.CompareAndSwap(0, me) {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	deadline := time.Now().Add(d)
+	seed := uint64(t.ID+1) * 0x9e3779b97f4a7c15
+	if t.RNG != nil {
+		seed = t.RNG.Next()
+	}
+	local := spinwait.NewBackoff(l.localMin, l.localMax, seed)
+	remote := spinwait.NewBackoff(l.remoteMin, l.remoteMax, seed^0xff)
+	for {
+		if !time.Now().Before(deadline) {
+			return l.state.CompareAndSwap(0, me)
+		}
+		if holder := l.state.Load(); holder == me {
+			local.Wait()
+		} else if holder != 0 {
+			remote.Wait()
+		}
+		if l.state.CompareAndSwap(0, me) {
+			return true
+		}
+	}
 }
 
 // Unlock releases the lock.

@@ -10,6 +10,7 @@ package hmcs
 import (
 	"math"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/locks"
 	"repro/internal/spinwait"
@@ -28,20 +29,61 @@ const (
 // paper's default passing threshold).
 const DefaultThreshold = 64
 
+// The timed-acquisition states, mirroring internal/locks/mcs.go where
+// the protocol is documented in full. HMCS runs it at BOTH levels: a
+// timed waiter can abandon its leaf node (the per-socket queue) and,
+// after winning the leaf as the socket's representative, abandon the
+// leaf's embedded root node in the root queue. The root node is shared
+// by every thread of the socket, so all become-representative paths
+// gate on its tstate being clean before touching it — a poisoned root
+// node is still linked in the root queue, and reinitialising it there
+// would corrupt the queue. The gate is bounded: the root is held by
+// someone (that is why the timed representative gave up), and that
+// holder's release walk skips and retires the tombstone.
+const (
+	tsClean     uint32 = iota // not a timed waiter / reusable
+	tsArmed                   // timed waiter enqueued, may still abandon
+	tsAbandoned               // waiter left; releasers skip and retire
+	tsGranted                 // releaser committed the grant to this node
+)
+
 type leafNode struct {
 	next   atomic.Pointer[leafNode]
 	status atomic.Uint64
+	// tstate is the timed-acquisition state machine (constants above);
+	// untimed acquires never write it.
+	tstate atomic.Uint32
 	wait   waiter.State
 	ready  func() bool // status has left statusWait
-	_      [2]uint64   // pad to one 64-byte cache line
+	_      [1]uint64   // pad to one 64-byte cache line
 }
 
 type rootNode struct {
 	next   atomic.Pointer[rootNode]
 	locked atomic.Bool
+	// tstate guards the (socket-shared) root node's timed state; it
+	// rides in the alignment hole after locked.
+	tstate atomic.Uint32
 	wait   waiter.State
 	ready  func() bool // locked has been set
 	_      [2]uint64   // pad to one 64-byte cache line
+}
+
+// awaitReusable spins until a release walk has retired a previously
+// abandoned root node (see the tstate constants for the bound).
+func (n *rootNode) awaitReusable() {
+	var s spinwait.Spinner
+	for n.tstate.Load() != tsClean {
+		s.Pause()
+	}
+}
+
+// awaitReusable is the leaf-node analogue.
+func (n *leafNode) awaitReusable() {
+	var s spinwait.Spinner
+	for n.tstate.Load() != tsClean {
+		s.Pause()
+	}
 }
 
 // leaf is one socket's MCS queue plus its statically owned node in the
@@ -110,6 +152,11 @@ func (l *HMCS) EnableStats() {
 func (l *HMCS) Lock(t *locks.Thread) {
 	lf := l.leaves[t.Socket]
 	me := &l.nodes[t.ID][t.AcquireSlot()]
+	if me.tstate.Load() != tsClean {
+		// Node still queued from an earlier timed-out acquire on this
+		// slot; wait for a release walk to retire it.
+		me.awaitReusable()
+	}
 	me.next.Store(nil)
 	me.status.Store(statusWait)
 
@@ -128,9 +175,13 @@ func (l *HMCS) Lock(t *locks.Thread) {
 		}
 	}
 	// We are the socket's representative: acquire the root MCS lock with
-	// the leaf's embedded root node.
+	// the leaf's embedded root node (waiting out a previous
+	// representative's abandoned tenure first — see the tstate gate).
 	me.status.Store(cohortStart)
 	rn := &lf.root
+	if rn.tstate.Load() != tsClean {
+		rn.awaitReusable()
+	}
 	rn.next.Store(nil)
 	rn.locked.Store(false)
 	rprev := l.rootTail.Swap(rn)
@@ -142,6 +193,100 @@ func (l *HMCS) Lock(t *locks.Thread) {
 	if h := l.handover; h != nil {
 		h.Record(t.Socket)
 	}
+}
+
+// LockTimeout implements locks.TimedMutex: the tstate abandonment
+// protocol (see the constant block) at both levels. A waiter that times
+// out in the leaf queue abandons its leaf node; a representative that
+// times out in the root queue abandons the leaf's root node, then
+// releases the leaf it won — promoting a successor to representative
+// (which will gate on the poisoned root node's retirement) or freeing
+// the socket queue.
+func (l *HMCS) LockTimeout(t *locks.Thread, d time.Duration) bool {
+	lf := l.leaves[t.Socket]
+	me := &l.nodes[t.ID][t.AcquireSlot()]
+	if me.tstate.Load() != tsClean {
+		t.ReleaseSlot()
+		return false // node still queued; a timed attempt fails fast
+	}
+	deadline := time.Now().Add(d)
+	me.next.Store(nil)
+	me.status.Store(statusWait)
+	l.wait.Prepare(&me.wait)
+	me.tstate.Store(tsArmed)
+	prev := lf.tail.Swap(me)
+	if prev == nil {
+		me.tstate.Store(tsClean)
+	} else {
+		prev.next.Store(me)
+		if !l.wait.WaitUntil(&me.wait, me.ready, deadline) {
+			if me.tstate.CompareAndSwap(tsArmed, tsAbandoned) {
+				t.ReleaseSlot()
+				return false
+			}
+			// tsGranted: accept the at-the-buzzer leaf grant and carry on
+			// (a representative promotion proceeds to the root with the
+			// expired deadline and gives up there in O(1) if contended).
+			var s spinwait.Spinner
+			for !me.ready() {
+				s.Pause()
+			}
+		}
+		me.tstate.Store(tsClean)
+		if me.status.Load() != statusAcqPar {
+			if h := l.handover; h != nil {
+				h.Record(t.Socket)
+			}
+			return true // cohort pass: the composite lock is ours
+		}
+	}
+	// Representative: timed root acquisition. A poisoned root node is
+	// still linked in the root queue; the timed path fails fast rather
+	// than waiting out its retirement.
+	me.status.Store(cohortStart)
+	rn := &lf.root
+	if rn.tstate.Load() != tsClean {
+		l.promoteOrFree(lf, me)
+		t.ReleaseSlot()
+		return false
+	}
+	rn.next.Store(nil)
+	rn.locked.Store(false)
+	l.wait.Prepare(&rn.wait)
+	rn.tstate.Store(tsArmed)
+	rprev := l.rootTail.Swap(rn)
+	if rprev == nil {
+		rn.tstate.Store(tsClean)
+		if h := l.handover; h != nil {
+			h.Record(t.Socket)
+		}
+		return true
+	}
+	rprev.next.Store(rn)
+	if l.wait.WaitUntil(&rn.wait, rn.ready, deadline) {
+		rn.tstate.Store(tsClean)
+		if h := l.handover; h != nil {
+			h.Record(t.Socket)
+		}
+		return true
+	}
+	if rn.tstate.CompareAndSwap(tsArmed, tsAbandoned) {
+		// Abandoned at the root: hand the leaf back without the
+		// composite lock.
+		l.promoteOrFree(lf, me)
+		t.ReleaseSlot()
+		return false
+	}
+	// tsGranted: the root releaser committed at the buzzer.
+	var s spinwait.Spinner
+	for !rn.ready() {
+		s.Pause()
+	}
+	rn.tstate.Store(tsClean)
+	if h := l.handover; h != nil {
+		h.Record(t.Socket)
+	}
+	return true
 }
 
 // TryLock implements locks.Mutex: one CAS on the empty leaf tail, then
@@ -162,8 +307,15 @@ func (l *HMCS) TryLock(t *locks.Thread) bool {
 		return false
 	}
 	// We are the socket's representative; try the root with the leaf's
-	// embedded root node.
+	// embedded root node. A poisoned root node is still linked in the
+	// root queue (so the root cannot be free) and must not be touched:
+	// retreat immediately.
 	rn := &lf.root
+	if rn.tstate.Load() != tsClean {
+		l.promoteOrFree(lf, me)
+		t.ReleaseSlot()
+		return false
+	}
 	rn.next.Store(nil)
 	rn.locked.Store(false)
 	if l.rootTail.CompareAndSwap(nil, rn) {
@@ -172,24 +324,38 @@ func (l *HMCS) TryLock(t *locks.Thread) bool {
 		}
 		return true
 	}
-	// Root busy: retreat from the leaf queue.
-	if lf.tail.CompareAndSwap(me, nil) {
-		t.ReleaseSlot()
-		return false
-	}
-	// A successor swapped the leaf tail; wait out its two-instruction
-	// link window (it is between tail swap and next.Store, never parked)
-	// and promote it to representative in our place.
-	var s spinwait.Spinner
-	succ := me.next.Load()
-	for succ == nil {
-		s.Pause()
-		succ = me.next.Load()
-	}
-	succ.status.Store(statusAcqPar)
-	l.wait.Wake(&succ.wait)
+	// Root busy: retreat from the leaf queue (freeing it or promoting a
+	// live successor to representative in our place).
+	l.promoteOrFree(lf, me)
 	t.ReleaseSlot()
 	return false
+}
+
+// grantLeaf commits a leaf handover (a cohort pass count or a
+// statusAcqPar promotion) to succ unless succ abandoned its timed wait
+// (false — the caller must skip the node). For an untimed succ this is
+// the old handover plus one load of a line the status store writes.
+func (l *HMCS) grantLeaf(succ *leafNode, status uint64) bool {
+	if succ.tstate.Load() != tsClean {
+		if !succ.tstate.CompareAndSwap(tsArmed, tsGranted) {
+			return false // tsAbandoned
+		}
+	}
+	succ.status.Store(status)
+	l.wait.Wake(&succ.wait)
+	return true
+}
+
+// grantRoot is the root-level analogue of grantLeaf.
+func (l *HMCS) grantRoot(next *rootNode) bool {
+	if next.tstate.Load() != tsClean {
+		if !next.tstate.CompareAndSwap(tsArmed, tsGranted) {
+			return false // tsAbandoned
+		}
+	}
+	next.locked.Store(true)
+	l.wait.Wake(&next.wait)
+	return true
 }
 
 // Unlock releases the lock for t.
@@ -198,47 +364,95 @@ func (l *HMCS) Unlock(t *locks.Thread) {
 	me := &l.nodes[t.ID][t.ReleaseSlot()]
 	count := me.status.Load()
 
+	cur := me
 	if count < l.threshold {
-		// Budget remains: try to pass within the cohort.
-		if succ := me.next.Load(); succ != nil {
-			succ.status.Store(count + 1)
-			l.wait.Wake(&succ.wait)
-			return
+		// Budget remains: pass within the cohort to the first live
+		// linked successor, skipping (and retiring) abandoned ones.
+		for {
+			succ := cur.next.Load()
+			if succ == nil {
+				break
+			}
+			if cur != me {
+				cur.tstate.Store(tsClean) // tombstone off the queue: retire
+			}
+			if l.grantLeaf(succ, count+1) {
+				return
+			}
+			cur = succ
 		}
 	}
-	// Either the budget is exhausted or no cohort successor is linked:
-	// release the root lock, then the leaf queue.
+	// Either the budget is exhausted or no live cohort successor is
+	// linked from cur: release the root lock, then the leaf queue (cur,
+	// if not our own node, is a tombstone promoteOrFree retires).
 	l.releaseRoot(lf)
-	succ := me.next.Load()
-	if succ == nil {
-		if lf.tail.CompareAndSwap(me, nil) {
-			return
-		}
-		var s spinwait.Spinner
-		for succ = me.next.Load(); succ == nil; succ = me.next.Load() {
-			s.Pause()
-		}
-	}
-	succ.status.Store(statusAcqPar)
-	l.wait.Wake(&succ.wait)
+	l.promoteOrFreeFrom(lf, me, cur)
 }
 
-// releaseRoot performs a plain MCS release of the root queue on behalf of
-// the leaf's embedded node.
-func (l *HMCS) releaseRoot(lf *leaf) {
-	rn := &lf.root
-	next := rn.next.Load()
-	if next == nil {
-		if l.rootTail.CompareAndSwap(rn, nil) {
+// promoteOrFree releases the leaf queue from the holder's node without
+// touching the root: free the socket queue if empty, else promote the
+// first live successor to representative (statusAcqPar), skipping and
+// retiring abandoned tombstones.
+func (l *HMCS) promoteOrFree(lf *leaf, me *leafNode) {
+	l.promoteOrFreeFrom(lf, me, me)
+}
+
+// promoteOrFreeFrom is promoteOrFree resuming from cur, partway down a
+// tombstone walk (me marks the holder's own node, which is never
+// retired — the caller owns it).
+func (l *HMCS) promoteOrFreeFrom(lf *leaf, me, cur *leafNode) {
+	for {
+		succ := cur.next.Load()
+		if succ == nil {
+			if lf.tail.CompareAndSwap(cur, nil) {
+				if cur != me {
+					cur.tstate.Store(tsClean)
+				}
+				return
+			}
+			var s spinwait.Spinner
+			for succ = cur.next.Load(); succ == nil; succ = cur.next.Load() {
+				s.Pause()
+			}
+		}
+		if cur != me {
+			cur.tstate.Store(tsClean)
+		}
+		if l.grantLeaf(succ, statusAcqPar) {
 			return
 		}
-		var s spinwait.Spinner
-		for next = rn.next.Load(); next == nil; next = rn.next.Load() {
-			s.Pause()
-		}
+		cur = succ
 	}
-	next.locked.Store(true)
-	l.wait.Wake(&next.wait)
+}
+
+// releaseRoot performs an MCS release of the root queue on behalf of
+// the leaf's embedded node, skipping (and retiring) root nodes whose
+// representatives abandoned their timed root wait.
+func (l *HMCS) releaseRoot(lf *leaf) {
+	rn := &lf.root
+	cur := rn
+	for {
+		next := cur.next.Load()
+		if next == nil {
+			if l.rootTail.CompareAndSwap(cur, nil) {
+				if cur != rn {
+					cur.tstate.Store(tsClean)
+				}
+				return
+			}
+			var s spinwait.Spinner
+			for next = cur.next.Load(); next == nil; next = cur.next.Load() {
+				s.Pause()
+			}
+		}
+		if cur != rn {
+			cur.tstate.Store(tsClean)
+		}
+		if l.grantRoot(next) {
+			return
+		}
+		cur = next
+	}
 }
 
 // Name implements locks.Mutex.
@@ -255,4 +469,5 @@ func (l *HMCS) Handovers() *locks.HandoverCounter {
 }
 
 var _ locks.Mutex = (*HMCS)(nil)
+var _ locks.TimedMutex = (*HMCS)(nil)
 var _ locks.StatsEnabler = (*HMCS)(nil)

@@ -2,6 +2,7 @@ package locks
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/spinwait"
 	"repro/internal/waiter"
@@ -93,6 +94,11 @@ func (l *Malthusian) SetWait(p waiter.Policy) { l.wait = p }
 // revive handover sets its flag.
 func (l *Malthusian) Lock(t *Thread) {
 	n := &l.nodes[t.ID][t.AcquireSlot()]
+	if n.tstate.Load() != tsClean {
+		// Still queued from an earlier timed-out acquire on this slot;
+		// wait for a releaser's skip walk to retire it.
+		n.awaitReusable()
+	}
 	n.next.Store(nil)
 	n.locked.Store(false)
 	prev := l.tail.Swap(n)
@@ -103,12 +109,54 @@ func (l *Malthusian) Lock(t *Thread) {
 	}
 }
 
+// LockTimeout implements TimedMutex via the shared mcsNode tstate
+// protocol (see mcs.go). Abandoned nodes stay in the main queue until
+// a release's skip walk retires them — they are never culled (see
+// Unlock), so the passive list never holds a timed node.
+func (l *Malthusian) LockTimeout(t *Thread, d time.Duration) bool {
+	n := &l.nodes[t.ID][t.AcquireSlot()]
+	if n.tstate.Load() != tsClean {
+		t.ReleaseSlot()
+		return false // node still queued; a timed attempt fails fast
+	}
+	deadline := time.Now().Add(d)
+	n.next.Store(nil)
+	n.locked.Store(false)
+	l.wait.Prepare(&n.wait)
+	n.tstate.Store(tsArmed)
+	prev := l.tail.Swap(n)
+	if prev == nil {
+		n.tstate.Store(tsClean)
+		return true
+	}
+	prev.next.Store(n)
+	if l.wait.WaitUntil(&n.wait, n.ready, deadline) {
+		n.tstate.Store(tsClean)
+		return true
+	}
+	if n.tstate.CompareAndSwap(tsArmed, tsAbandoned) {
+		t.ReleaseSlot()
+		return false
+	}
+	// The releaser granted at the buzzer; the lock is ours.
+	var s spinwait.Spinner
+	for !n.ready() {
+		s.Pause()
+	}
+	n.tstate.Store(tsClean)
+	return true
+}
+
 // TryLock implements Mutex: one CAS on the empty tail, as in MCS. The
 // tail is nil only when the passive list is empty too (a releaser with
 // passive waiters hands the lock directly to one instead of freeing
 // it), so a successful TryLock can never interleave with a revive.
 func (l *Malthusian) TryLock(t *Thread) bool {
 	n := &l.nodes[t.ID][t.AcquireSlot()]
+	if n.tstate.Load() != tsClean {
+		t.ReleaseSlot()
+		return false // node still queued from a timed-out acquire
+	}
 	n.next.Store(nil)
 	if l.tail.CompareAndSwap(nil, n) {
 		return true
@@ -151,54 +199,91 @@ func (l *Malthusian) Unlock(t *Thread) {
 		return
 	}
 
-	next := n.next.Load()
-	if next == nil {
-		// No linked successor. Passive waiters must not strand, and the
-		// passive list is holder-only state, so it must never be touched
-		// after a release CAS publishes a free lock: with passive
-		// waiters present, hand the lock directly to one — swing the
-		// tail from our node to the revived node — instead of freeing
-		// it. The tail is therefore nil only when the passive list is
-		// empty too, which is what makes the TryLock fast path safe.
-		if l.passiveHead != nil {
-			revived := l.passiveHead
-			l.passiveHead = revived.next.Load()
-			l.passiveLen--
-			revived.next.Store(nil)
-			if l.tail.CompareAndSwap(n, revived) {
-				l.stats.revived++
-				revived.locked.Store(true)
-				l.wait.Wake(&revived.wait)
+	l.releaseFrom(n)
+}
+
+// releaseFrom hands the lock past n: the pre-tstate Unlock tail,
+// looped so a grant refused by an abandoned timed waiter continues the
+// release from that node (retiring it once its links are read). The
+// loop's n is the holder's own node on entry and abandoned skip-walk
+// nodes on later iterations — retireIfAbandoned is a no-op for the
+// former.
+func (l *Malthusian) releaseFrom(n *mcsNode) {
+	for {
+		next := n.next.Load()
+		if next == nil {
+			// No linked successor. Passive waiters must not strand, and the
+			// passive list is holder-only state, so it must never be touched
+			// after a release CAS publishes a free lock: with passive
+			// waiters present, hand the lock directly to one — swing the
+			// tail from our node to the revived node — instead of freeing
+			// it. The tail is therefore nil only when the passive list is
+			// empty too, which is what makes the TryLock fast path safe.
+			if l.passiveHead != nil {
+				revived := l.passiveHead
+				l.passiveHead = revived.next.Load()
+				l.passiveLen--
+				revived.next.Store(nil)
+				if l.tail.CompareAndSwap(n, revived) {
+					l.stats.revived++
+					n.retireIfAbandoned()
+					// Passive nodes are never timed (see the cull gate
+					// below), so the direct handover is a plain grant.
+					revived.locked.Store(true)
+					l.wait.Wake(&revived.wait)
+					return
+				}
+				// A new waiter swapped the tail after our next-load and is
+				// about to link in. We still hold the lock, so the list is
+				// still ours: put the node back and hand over normally.
+				revived.next.Store(l.passiveHead)
+				l.passiveHead = revived
+				l.passiveLen++
+			} else if l.tail.CompareAndSwap(n, nil) {
+				n.retireIfAbandoned()
 				return
 			}
-			// A new waiter swapped the tail after our next-load and is
-			// about to link in. We still hold the lock, so the list is
-			// still ours: put the node back and hand over normally.
-			revived.next.Store(l.passiveHead)
-			l.passiveHead = revived
+			var s spinwait.Spinner
+			for next = n.next.Load(); next == nil; next = n.next.Load() {
+				s.Pause()
+			}
+		}
+		// A successor is linked; n's links are done with, so an
+		// abandoned n can be retired before the grant.
+		n.retireIfAbandoned()
+
+		// Cull: if a second linked waiter exists beyond next and the active
+		// set is above the floor, move next to the passive list and hand the
+		// lock past it. The culled waiter is not woken — under a parking
+		// policy it stays parked on its node for its whole passive tenure.
+		// Only untimed (tsClean) waiters are culled: a timed waiter must
+		// stay in the main queue, where an abandonment is retired within
+		// one release's skip walk — in the passive list it could linger
+		// for an unbounded tenure, wedging its owner's next acquisition
+		// and risking a revive of a waiter that already left. tsClean on
+		// a queued node is stable (arming happens before enqueue), so
+		// the gate cannot race the waiter's own timeout.
+		if nn := next.next.Load(); nn != nil && next.tstate.Load() == tsClean && l.activeEstimate(next) > l.minActive {
+			next.next.Store(l.passiveHead)
+			l.passiveHead = next
 			l.passiveLen++
-		} else if l.tail.CompareAndSwap(n, nil) {
+			l.stats.culled++
+			next = nn
+		}
+		if grantTo(l.wait, next) {
 			return
 		}
-		var s spinwait.Spinner
-		for next = n.next.Load(); next == nil; next = n.next.Load() {
-			s.Pause()
-		}
+		n = next // abandoned: continue the release from the skipped node
 	}
+}
 
-	// Cull: if a second linked waiter exists beyond next and the active
-	// set is above the floor, move next to the passive list and hand the
-	// lock past it. The culled waiter is not woken — under a parking
-	// policy it stays parked on its node for its whole passive tenure.
-	if nn := next.next.Load(); nn != nil && l.activeEstimate(next) > l.minActive {
-		next.next.Store(l.passiveHead)
-		l.passiveHead = next
-		l.passiveLen++
-		l.stats.culled++
-		next = nn
+// retireIfAbandoned returns an abandoned node to its owner. The
+// holder's own node is tsClean, so the common release pays one load of
+// a line it just read the next link from.
+func (n *mcsNode) retireIfAbandoned() {
+	if n.tstate.Load() == tsAbandoned {
+		n.tstate.Store(tsClean)
 	}
-	next.locked.Store(true)
-	l.wait.Wake(&next.wait)
 }
 
 // activeEstimate counts linked waiters up to a small bound — enough to

@@ -1,6 +1,10 @@
 package locks
 
-import "sync"
+import (
+	"context"
+	"sync"
+	"time"
+)
 
 // Std wraps sync.Mutex in the Mutex contract, ignoring the Thread
 // argument — the Go runtime manages waiting and handover itself. It is
@@ -25,6 +29,13 @@ func (l *Std) TryLock(t *Thread) bool { return l.mu.TryLock() }
 // Unlock implements Mutex.
 func (l *Std) Unlock(t *Thread) { l.mu.Unlock() }
 
+// LockTimeout implements TimedMutex: sync.Mutex exposes no timed wait,
+// so the stdlib wrappers poll TryLock until the deadline — the runtime
+// manages fairness among the polls.
+func (l *Std) LockTimeout(t *Thread, d time.Duration) bool {
+	return PollTimeout(l.mu.TryLock, d)
+}
+
 // Name implements Mutex.
 func (l *Std) Name() string { return "std" }
 
@@ -48,6 +59,11 @@ func (l *StdRW) TryLock(t *Thread) bool { return l.mu.TryLock() }
 // Unlock implements Mutex.
 func (l *StdRW) Unlock(t *Thread) { l.mu.Unlock() }
 
+// LockTimeout implements TimedMutex (TryLock poll; see Std.LockTimeout).
+func (l *StdRW) LockTimeout(t *Thread, d time.Duration) bool {
+	return PollTimeout(l.mu.TryLock, d)
+}
+
 // Name implements Mutex.
 func (l *StdRW) Name() string { return "std-rw" }
 
@@ -69,6 +85,17 @@ func (l *StdNative) TryLock() bool { return l.mu.TryLock() }
 
 // Unlock implements NativeMutex.
 func (l *StdNative) Unlock() { l.mu.Unlock() }
+
+// LockTimeout implements TimedNativeMutex (TryLock poll; see
+// Std.LockTimeout).
+func (l *StdNative) LockTimeout(d time.Duration) bool {
+	return PollTimeout(l.mu.TryLock, d)
+}
+
+// LockContext implements TimedNativeMutex.
+func (l *StdNative) LockContext(ctx context.Context) error {
+	return ContextLock(ctx, l)
+}
 
 // Name implements NativeMutex.
 func (l *StdNative) Name() string { return "std" }
@@ -92,12 +119,23 @@ func (l *StdRWNative) TryLock() bool { return l.mu.TryLock() }
 // Unlock implements NativeMutex.
 func (l *StdRWNative) Unlock() { l.mu.Unlock() }
 
+// LockTimeout implements TimedNativeMutex (TryLock poll; see
+// Std.LockTimeout).
+func (l *StdRWNative) LockTimeout(d time.Duration) bool {
+	return PollTimeout(l.mu.TryLock, d)
+}
+
+// LockContext implements TimedNativeMutex.
+func (l *StdRWNative) LockContext(ctx context.Context) error {
+	return ContextLock(ctx, l)
+}
+
 // Name implements NativeMutex.
 func (l *StdRWNative) Name() string { return "std-rw" }
 
 var (
-	_ Mutex       = (*Std)(nil)
-	_ Mutex       = (*StdRW)(nil)
-	_ NativeMutex = (*StdNative)(nil)
-	_ NativeMutex = (*StdRWNative)(nil)
+	_ TimedMutex       = (*Std)(nil)
+	_ TimedMutex       = (*StdRW)(nil)
+	_ TimedNativeMutex = (*StdNative)(nil)
+	_ TimedNativeMutex = (*StdRWNative)(nil)
 )

@@ -2,6 +2,7 @@ package locks
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/spinwait"
 )
@@ -29,6 +30,12 @@ func (l *TAS) Lock(t *Thread) {
 // fast path every flat lock shares.
 func (l *TAS) TryLock(t *Thread) bool {
 	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}
+
+// LockTimeout implements TimedMutex: a flat lock holds no queue
+// position, so the timed acquire just stops retrying at the deadline.
+func (l *TAS) LockTimeout(t *Thread, d time.Duration) bool {
+	return PollTimeout(func() bool { return l.state.Load() == 0 && l.state.Swap(1) == 0 }, d)
 }
 
 // Unlock releases the lock.
@@ -63,6 +70,12 @@ func (l *TTAS) Lock(t *Thread) {
 // TryLock implements Mutex.
 func (l *TTAS) TryLock(t *Thread) bool {
 	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}
+
+// LockTimeout implements TimedMutex: give up by stopping the retry
+// loop at the deadline.
+func (l *TTAS) LockTimeout(t *Thread, d time.Duration) bool {
+	return PollTimeout(func() bool { return l.state.Load() == 0 && l.state.Swap(1) == 0 }, d)
 }
 
 // Unlock releases the lock.
@@ -110,6 +123,33 @@ func (l *BackoffTAS) Lock(t *Thread) {
 			return
 		}
 		bo.Wait()
+	}
+}
+
+// LockTimeout implements TimedMutex: the backoff loop with a deadline
+// check per backoff interval (an interval is at most l.max pause
+// units, so expiry is detected with bounded lag).
+func (l *BackoffTAS) LockTimeout(t *Thread, d time.Duration) bool {
+	if l.state.Load() == 0 && l.state.Swap(1) == 0 {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	deadline := time.Now().Add(d)
+	seed := uint64(t.ID + 1)
+	if t.RNG != nil {
+		seed = t.RNG.Next()
+	}
+	bo := spinwait.NewBackoff(l.min, l.max, seed)
+	for {
+		if !time.Now().Before(deadline) {
+			return l.state.Load() == 0 && l.state.Swap(1) == 0
+		}
+		bo.Wait()
+		if l.state.Load() == 0 && l.state.Swap(1) == 0 {
+			return true
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package locks
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/waiter"
 )
@@ -50,6 +51,16 @@ func (l *Ticket) TryLock(t *Thread) bool {
 		return false // someone holds (or waits for) the lock
 	}
 	return l.state.CompareAndSwap(v, v+1<<32)
+}
+
+// LockTimeout implements TimedMutex. A drawn ticket cannot be returned
+// — the grant counter serves tickets strictly in order, so an
+// abandoned ticket would wedge every later one. The timed acquire is
+// therefore a deadline-bounded TryLock poll: it never joins the FIFO
+// queue, trading the blocking Lock's strict fairness for a clean
+// give-up.
+func (l *Ticket) LockTimeout(t *Thread, d time.Duration) bool {
+	return PollTimeout(func() bool { return l.TryLock(t) }, d)
 }
 
 // Unlock serves the next ticket. Ticket locks are thread-oblivious: any
@@ -146,6 +157,12 @@ func (l *PartitionedTicket) TryLock(t *Thread) bool {
 	}
 	l.held = ticket
 	return true
+}
+
+// LockTimeout implements TimedMutex: a deadline-bounded TryLock poll,
+// for the same cannot-return-a-ticket reason as Ticket.LockTimeout.
+func (l *PartitionedTicket) LockTimeout(t *Thread, d time.Duration) bool {
+	return PollTimeout(func() bool { return l.TryLock(t) }, d)
 }
 
 // Unlock announces the next ticket in its slot.

@@ -1,0 +1,175 @@
+package qspin
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/numa"
+)
+
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestLockTimeoutNonPositiveDegradesToTryLock(t *testing.T) {
+	d := NewDomain(numa.TwoSocketXeonE5(), PolicyStock)
+	var l SpinLock
+	if !d.LockTimeout(&l, 0, 0) {
+		t.Fatal("timed acquire of a free lock failed with zero timeout")
+	}
+	if d.LockTimeout(&l, 1, -time.Second) {
+		t.Fatal("negative-timeout acquire of a held lock succeeded")
+	}
+	l.Unlock()
+}
+
+// A single contender behind the holder sits on the pending bit; expiry
+// must subtract the bit back out, leaving only the holder's byte.
+func TestPendingPathTimeoutReturnsBit(t *testing.T) {
+	d := NewDomain(numa.TwoSocketXeonE5(), PolicyStock)
+	var l SpinLock
+	d.Lock(&l, 0)
+	if d.LockTimeout(&l, 1, 2*time.Millisecond) {
+		t.Fatal("timed acquire succeeded with the lock held throughout")
+	}
+	if v := l.Value(); v != lockedVal {
+		t.Fatalf("pending-path timeout left lock word %#x, want %#x", v, lockedVal)
+	}
+	l.Unlock()
+	if !d.LockTimeout(&l, 1, time.Second) {
+		t.Fatal("timed acquire of the released lock failed")
+	}
+	l.Unlock()
+}
+
+// A timed waiter that reaches the queue head and expires must exit the
+// head position: with no successor that means clearing its own tail
+// encoding while the holder's and pending waiter's bits stay untouched.
+func TestHeadExitClearsTail(t *testing.T) {
+	for _, policy := range []Policy{PolicyStock, PolicyCNA} {
+		t.Run(policy.String(), func(t *testing.T) {
+			d := NewDomain(numa.TwoSocketXeonE5(), policy)
+			var l SpinLock
+			d.Lock(&l, 0)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { defer wg.Done(); d.Lock(&l, 1); l.Unlock() }()
+			// With the pending bit occupied the timed contender below is
+			// forced onto the queue, entering it as the head.
+			waitForCond(t, "pending bit", func() bool { return l.Value()&pendingBit != 0 })
+			if d.LockTimeout(&l, 2, 2*time.Millisecond) {
+				t.Fatal("timed acquire succeeded with the lock held throughout")
+			}
+			if v := l.Value(); v&tailMask != 0 {
+				t.Fatalf("head-exit left tail bits in lock word %#x", v)
+			}
+			if ts := d.nodes[2][0].tstate.Load(); ts != tsClean {
+				t.Fatalf("head-exit left tstate %d", ts)
+			}
+			l.Unlock()
+			wg.Wait()
+			waitForCond(t, "lock word drain", func() bool { return l.Value() == 0 })
+		})
+	}
+}
+
+// A timed waiter that expires mid-queue (behind the head) leaves a
+// tombstone; the next promotion walk must retire it, after which the
+// same CPU's nesting node is reusable.
+func TestQueuedTimeoutTombstoneRetired(t *testing.T) {
+	for _, policy := range []Policy{PolicyStock, PolicyCNA} {
+		t.Run(policy.String(), func(t *testing.T) {
+			d := NewDomain(numa.TwoSocketXeonE5(), policy)
+			var l SpinLock
+			d.Lock(&l, 0)
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { defer wg.Done(); d.Lock(&l, 1); l.Unlock() }() // pending
+			waitForCond(t, "pending bit", func() bool { return l.Value()&pendingBit != 0 })
+			go func() { defer wg.Done(); d.Lock(&l, 2); l.Unlock() }() // queue head
+			waitForCond(t, "queue tail", func() bool { return l.Value()&tailMask != 0 })
+			if d.LockTimeout(&l, 3, 2*time.Millisecond) {
+				t.Fatal("timed acquire succeeded with the lock held throughout")
+			}
+			l.Unlock()
+			wg.Wait()
+			waitForCond(t, "lock word drain", func() bool { return l.Value() == 0 })
+			waitForCond(t, "tombstone retirement", func() bool {
+				return d.nodes[3][0].tstate.Load() == tsClean
+			})
+			d.Lock(&l, 3)
+			l.Unlock()
+		})
+	}
+}
+
+// Mixed Lock/TryLock/LockTimeout storm with deadline jitter around the
+// handover latency, pinning the timeout-vs-grant race on both policies:
+// the under-lock counter and the per-success atomic must agree exactly
+// (no lost grant, no double grant), and quiescence must leave the lock
+// word empty and every node retired.
+func TestTimeoutStorm(t *testing.T) {
+	for _, policy := range []Policy{PolicyStock, PolicyCNA} {
+		t.Run(policy.String(), func(t *testing.T) {
+			d := NewDomain(numa.TwoSocketXeonE5(), policy)
+			var l SpinLock
+			var counter uint64
+			var acquired, shed atomic.Uint64
+			iters := 400
+			if testing.Short() {
+				iters = 120
+			}
+			const cpus = 6
+			var wg sync.WaitGroup
+			for c := 0; c < cpus; c++ {
+				wg.Add(1)
+				go func(cpu int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						switch i % 4 {
+						case 0:
+							d.Lock(&l, cpu)
+						case 1:
+							if !d.TryLock(&l, cpu) {
+								shed.Add(1)
+								continue
+							}
+						default:
+							if !d.LockTimeout(&l, cpu, time.Duration(i%7)*time.Microsecond) {
+								shed.Add(1)
+								continue
+							}
+						}
+						counter++
+						acquired.Add(1)
+						l.Unlock()
+					}
+				}(c)
+			}
+			wg.Wait()
+			if counter != acquired.Load() {
+				t.Fatalf("counter %d != acquisitions %d (shed %d): lost or duplicated grant",
+					counter, acquired.Load(), shed.Load())
+			}
+			if v := l.Value(); v != 0 {
+				t.Fatalf("lock word %#x after quiescence", v)
+			}
+			for cpu := range d.nodes {
+				for idx := range d.nodes[cpu] {
+					if ts := d.nodes[cpu][idx].tstate.Load(); ts != tsClean {
+						t.Fatalf("cpu %d node %d left tstate %d", cpu, idx, ts)
+					}
+				}
+			}
+		})
+	}
+}

@@ -56,6 +56,7 @@ package waiter
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/locknames"
 	"repro/internal/spinwait"
@@ -129,6 +130,56 @@ func (st *State) block(ready func() bool) {
 	}
 }
 
+// blockUntil is the deadline-bounded form of block: the same
+// flag-and-recheck handshake, with a timer racing the semaphore. It
+// returns true when ready() held (possibly granted at the buzzer) and
+// false on expiry. On either exit the flag is cleared and any raced
+// token drained, so the State carries no parked intent into its next
+// use — the property the timeout-path reset test pins (a stale flag or
+// token on a reused node would fire a spurious instant wake).
+func (st *State) blockUntil(ready func() bool, deadline time.Time) bool {
+	if st.sema == nil {
+		st.sema = make(chan struct{}, 1)
+	}
+	var timer *time.Timer
+	for !ready() {
+		st.flag.Store(1)
+		if ready() {
+			st.flag.Store(0)
+			st.drain()
+			return true
+		}
+		d := time.Until(deadline)
+		if d <= 0 {
+			st.flag.Store(0)
+			st.drain()
+			return false
+		}
+		if timer == nil {
+			timer = time.NewTimer(d)
+		} else {
+			timer.Reset(d)
+		}
+		st.parks.Add(1)
+		select {
+		case <-st.sema:
+			st.flag.Store(0)
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-timer.C:
+			// Timed out while parked. The waker may concurrently observe
+			// flag==1 and post a token; clear the flag and drain so the
+			// token cannot leak into a later round, then loop: the
+			// re-check either sees a grant that landed at the buzzer
+			// (return true) or the next deadline check returns false.
+			st.flag.Store(0)
+			st.drain()
+		}
+	}
+	return true
+}
+
 // wake is the waker side of the handshake. It must be called after the
 // grant has been published (the node's spin word stored); a no-op when
 // the waiter never declared parking intent, so spin-policy and
@@ -173,6 +224,13 @@ type Policy interface {
 	// Wait blocks until ready() reports true. ready must be a pure read
 	// of the node's grant word; Wait may call it spuriously.
 	Wait(st *State, ready func() bool)
+	// WaitUntil is Wait with a deadline: it returns true when ready()
+	// held (including a grant that lands exactly at the buzzer) and
+	// false once the deadline passed with ready() still false. A false
+	// return leaves the State clean — flag cleared, no pending token —
+	// so the node can be reused (after the lock-level abandonment
+	// protocol retires it). Like Wait, ready may be called spuriously.
+	WaitUntil(st *State, ready func() bool, deadline time.Time) bool
 	// WaitGlobal waits on a global-spin lock (ticket family) that has no
 	// per-waiter wake channel: dist returns how many holders stand
 	// between the caller and the lock, 0 meaning the lock is granted.
@@ -219,6 +277,12 @@ func (tryPolicy) Prepare(st *State) {}
 // already happened or the attempt has failed.
 func (tryPolicy) Wait(st *State, ready func() bool) {}
 
+// WaitUntil implements Policy: a TryLock-style attempt succeeds only if
+// the grant already happened.
+func (tryPolicy) WaitUntil(st *State, ready func() bool, deadline time.Time) bool {
+	return ready()
+}
+
 // WaitGlobal implements Policy: likewise for global-spin locks.
 func (tryPolicy) WaitGlobal(dist func() uint32) {}
 
@@ -251,6 +315,30 @@ func (Spin) Wait(st *State, ready func() bool) {
 		s.Pause()
 	}
 }
+
+// WaitUntil implements Policy: the adaptive spin loop with a periodic
+// deadline check. time.Now is only consulted every deadlineProbe pauses
+// during the busy phases (a clock read per pause would dominate the
+// spin), and on every pause once the spinner is down to yields.
+func (Spin) WaitUntil(st *State, ready func() bool, deadline time.Time) bool {
+	var s spinwait.Spinner
+	n := 0
+	for !ready() {
+		n++
+		if s.Yielding() || n%deadlineProbe == 0 {
+			if !time.Now().Before(deadline) {
+				return ready() // grant at the buzzer still wins
+			}
+		}
+		s.Pause()
+	}
+	return true
+}
+
+// deadlineProbe is how many busy pauses Spin.WaitUntil burns between
+// clock reads; the deadline is therefore honored with one-probe-window
+// granularity, which is far below any serving-path deadline.
+const deadlineProbe = 64
 
 // WaitGlobal implements Policy: proportional backoff — burn pause units
 // proportional to the queue distance between rechecks, so far-away
@@ -366,6 +454,25 @@ func (p SpinThenPark) Wait(st *State, ready func() bool) {
 	st.block(ready)
 }
 
+// WaitUntil implements Policy: the bounded busy budget (skipping the
+// streak adaptivity — a timed wait is already a statement about how
+// long the caller will tolerate waiting), then the timed park.
+func (p SpinThenPark) WaitUntil(st *State, ready func() bool, deadline time.Time) bool {
+	var s spinwait.Spinner
+	n := 0
+	for !s.Yielding() {
+		if ready() {
+			return true
+		}
+		n++
+		if n%deadlineProbe == 0 && !time.Now().Before(deadline) {
+			return ready()
+		}
+		s.Pause()
+	}
+	return st.blockUntil(ready, deadline)
+}
+
 // WaitGlobal implements Policy: same bounded budget, but with no wake
 // channel the tail is yield-per-recheck instead of a park.
 func (p SpinThenPark) WaitGlobal(dist func() uint32) {
@@ -399,6 +506,14 @@ func (Park) Wait(st *State, ready func() bool) {
 		return
 	}
 	st.block(ready)
+}
+
+// WaitUntil implements Policy: one recheck, then the timed park.
+func (Park) WaitUntil(st *State, ready func() bool, deadline time.Time) bool {
+	if ready() {
+		return true
+	}
+	return st.blockUntil(ready, deadline)
 }
 
 // WaitGlobal implements Policy: nothing will wake a parked ticket

@@ -47,6 +47,17 @@
 // Every TryLock — on the native form and on the *Thread form — is a
 // pure fast-path probe: it never blocks and never joins a queue.
 //
+// # Bounded-wait acquisition
+//
+// Every lock also implements LockTimeout — a timed acquire that gives
+// up cleanly on expiry (queue locks abandon their queue position via a
+// Scott-&-Scherer-style protocol; see internal/locks.TimedMutex for
+// the layer-by-layer semantics). The native form adds context support,
+// directly on every NewMutex result:
+//
+//	if mu.LockTimeout(time.Millisecond) { ...; mu.Unlock() }
+//	if err := mu.LockContext(ctx); err == nil { ...; mu.Unlock() }
+//
 // The CNA-specific constructors (NewCNA, NewArena) remain for callers
 // that want the concrete *CNA type, e.g. to read Stats(). Statistics
 // collection is opt-in — build with WithStats(true) (or call
@@ -58,6 +69,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/gonative"
 	"repro/internal/lockreg"
@@ -75,6 +88,17 @@ type Mutex = locks.Mutex
 // with TryLock and Name, usable from plain Go code with no *Thread in
 // sight. NewMutex returns one for any registered lock.
 type NativeMutex = locks.NativeMutex
+
+// TimedMutex is a Mutex with bounded-wait acquisition: LockTimeout
+// returns false on expiry, leaving the lock untouched. Every
+// registered lock implements it; the give-up mechanism is
+// layer-specific and documented on internal/locks.TimedMutex.
+type TimedMutex = locks.TimedMutex
+
+// TimedNativeMutex is the goroutine-native bounded-wait contract: a
+// NativeMutex with LockTimeout(d) and LockContext(ctx). It is what
+// NewMutex returns, so the timed forms need no type assertion.
+type TimedNativeMutex = locks.TimedNativeMutex
 
 // Thread is a worker's identity (dense id, NUMA socket, private PRNG),
 // passed to every Lock/Unlock call.
@@ -131,7 +155,7 @@ func MustBuild(name string, env Env, opts ...BuildOption) Mutex {
 // never corrupt queue nodes. Options work as in Build ("cna" +
 // WithThreshold, "mcs" + WithWait(SpinThenParkWait()), ...); prefer
 // the "*-park" spellings when goroutines can outnumber processors.
-func NewMutex(name string, opts ...BuildOption) (NativeMutex, error) {
+func NewMutex(name string, opts ...BuildOption) (TimedNativeMutex, error) {
 	return gonative.New(name, Env{}, opts...)
 }
 
@@ -139,13 +163,22 @@ func NewMutex(name string, opts ...BuildOption) (NativeMutex, error) {
 // bounds concurrent acquisitions (the slot-pool capacity), Topology
 // shapes the pool's socket striping and the lock's NUMA layout, and a
 // shared Arena works as in Build.
-func NewMutexIn(name string, env Env, opts ...BuildOption) (NativeMutex, error) {
+func NewMutexIn(name string, env Env, opts ...BuildOption) (TimedNativeMutex, error) {
 	return gonative.New(name, env, opts...)
 }
 
 // MustNewMutex is NewMutex for statically known names.
-func MustNewMutex(name string, opts ...BuildOption) NativeMutex {
+func MustNewMutex(name string, opts ...BuildOption) TimedNativeMutex {
 	return gonative.MustNew(name, Env{}, opts...)
+}
+
+// LockWithContext acquires m unless ctx is cancelled or its deadline
+// passes first: nil means the mutex is held; otherwise the context's
+// error is returned and the mutex is untouched. Cancellation (as
+// opposed to deadline expiry) can lag by up to a millisecond — the
+// wait is chunked into timed acquires with a check between chunks.
+func LockWithContext(ctx context.Context, m TimedNativeMutex) error {
+	return gonative.LockWithContext(ctx, m)
 }
 
 // Functional options, re-exported from internal/lockreg as wrapper
