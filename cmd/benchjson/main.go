@@ -12,6 +12,13 @@
 // "*-park" lock variants; every result is stamped with its lock's
 // wait_policy.
 //
+// The rwmix sweep (-readratios, on by default) adds the read-ratio
+// axis: a dcache-shaped read/write mix at 0/50/90/99/100% reads over
+// every reader-writer lock ("cna-rw", "std-rw", ...) and its exclusive
+// base, at one thread, one thread per socket, and GOMAXPROCS — the
+// tables that show what per-socket reader admission buys as the mix
+// shifts read-mostly.
+//
 // The go-native mode (-gonative, on by default) additionally measures
 // every lock through the goroutine-native adapter (repro.NewMutex):
 // the uncontended sweep repeated with per-acquisition thread-slot
@@ -45,6 +52,7 @@ import (
 
 	"repro/internal/gonative"
 	"repro/internal/harness"
+	"repro/internal/locknames"
 	"repro/internal/lockreg"
 	"repro/internal/locks"
 	"repro/internal/numa"
@@ -57,6 +65,7 @@ func main() {
 		wlList   = flag.String("workloads", "all", "comma-separated contended workload names, or 'all'")
 		threads  = flag.String("threads", "", "comma-separated contended thread counts; 'Nx' entries mean N*GOMAXPROCS (default: the 1,2,4,8 ladder plus socket count, GOMAXPROCS and the oversubscribed 2x/4x rungs)")
 		short    = flag.Bool("short", false, "smoke mode for CI: ~4x shorter measurement windows and fewer repeats (noisier numbers)")
+		ratios   = flag.String("readratios", "0,50,90,99,100", "comma-separated read percentages for the rwmix sweep over the reader-writer locks and their exclusive bases (empty disables the sweep)")
 		goNative = flag.Bool("gonative", true, "include the go-native sweeps: adapter-overhead latency per lock plus a contended spin-native rung")
 		md       = flag.Bool("md", false, "also render the report as markdown (see -mdout)")
 		mdOut    = flag.String("mdout", "BENCHMARKS.md", "output file for the markdown rendering")
@@ -90,6 +99,11 @@ func main() {
 	}
 	env := lockreg.Env{Topology: numa.TwoSocketXeonE5()}
 	counts, err := parseCounts(*threads, env.Sockets())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	readPcts, err := parseRatios(*ratios)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -186,6 +200,40 @@ func main() {
 		}
 	}
 
+	// Sweep 3: the read-ratio axis — the dcache-shaped read/write mix
+	// over every reader-writer spec and its exclusive base (the base
+	// serves reads through plain Lock, so each rwmix table reads as
+	// "what does the read side buy at this ratio"). Rungs: single
+	// thread, one thread per socket (the acceptance point for the RW
+	// construction), and GOMAXPROCS.
+	if len(readPcts) > 0 {
+		rwSpecs := rwSweepSpecs(specs)
+		rwRungs := dedupSorted([]int{1, env.Sockets(), runtime.GOMAXPROCS(0)})
+		for _, pct := range readPcts {
+			wlName := fmt.Sprintf("rwmix-%d", pct)
+			for _, spec := range rwSpecs {
+				for _, n := range rwRungs {
+					dur := contendedDur
+					if n > runtime.GOMAXPROCS(0) {
+						dur = oversubDur
+					}
+					r := harness.Run(harness.Config{
+						Name:         fmt.Sprintf("contended/%s/t%d/%s", wlName, n, spec.Name),
+						Topo:         env.Topology,
+						Threads:      n,
+						Duration:     dur,
+						Repeats:      repeats,
+						SamplePeriod: 64,
+					}, rwMixWorkload(spec, env, pct))
+					r.Lock = spec.Name
+					r.Workload = wlName
+					r.WaitPolicy = spec.Wait
+					results = append(results, r)
+				}
+			}
+		}
+	}
+
 	report := harness.NewReport(*short, results)
 	// Reporting threshold 10%: contended numbers on shared hosts are
 	// noisy; the diff flags movements worth a look, it is not a gate.
@@ -242,6 +290,21 @@ func writeMarkdownFile(path string, report harness.Report) error {
 	}
 	for _, wl := range lockreg.Workloads() {
 		info[wl.Name] = harness.WorkloadInfo{Description: wl.Description, PaperRef: wl.PaperRef}
+	}
+	// The rwmix workloads are benchjson-local too (one per swept read
+	// ratio); derive their entries from the report so -render needs no
+	// flag state.
+	for _, r := range report.Results {
+		wl := r.Workload
+		if _, done := info[wl]; done || !strings.HasPrefix(wl, "rwmix-") {
+			continue
+		}
+		pct := strings.TrimPrefix(wl, "rwmix-")
+		info[wl] = harness.WorkloadInfo{Description: fmt.Sprintf(
+			"The read-ratio axis at %s%% reads: a dcache-shaped mix (reads chase three dependent "+
+				"table probes, writes bump a version and update a slot). \"-rw\" locks serve reads "+
+				"under per-socket read indicators; their exclusive bases run the identical mix with "+
+				"reads under plain Lock.", pct)}
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -344,6 +407,117 @@ func nativeSpinWorkload(spec lockreg.Spec, env lockreg.Env) harness.NativeWorklo
 	}
 }
 
+// rwSweepSpecs filters the resolved specs down to the rwmix sweep's
+// population: every reader-writer spec plus every spec that has a
+// registered "-rw" derivative (its exclusive base — "std" qualifies
+// through "std-rw"). Park variants and the simple spin locks have no
+// read side and no derivative, so the read-ratio axis stays focused on
+// the RW-vs-base comparison.
+func rwSweepSpecs(specs []lockreg.Spec) []lockreg.Spec {
+	var out []lockreg.Spec
+	for _, s := range specs {
+		if s.RW {
+			out = append(out, s)
+			continue
+		}
+		if _, ok := lockreg.Lookup(s.Name + locknames.RWSuffix); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// rwMixWorkload is the benchjson-local dcache-shaped read/write mix:
+// reads walk three dependent probes through a shared table (a path
+// lookup's pointer chase), writes bump a version and update one slot.
+// Locks with a read side serve reads under RLock; their exclusive
+// bases run the identical mix with reads under plain Lock, so the
+// rwmix tables isolate exactly what reader admission buys at each
+// ratio. The mix is deterministic in the op index (op%100 < readPct),
+// so every lock sees the same read/write sequence per thread.
+func rwMixWorkload(spec lockreg.Spec, env lockreg.Env, readPct int) harness.Workload {
+	return func(threads int) func(*locks.Thread, int) {
+		e := env
+		e.MaxThreads = threads
+		m := spec.Build(e)
+		rw, _ := m.(locks.RWMutex)
+		const tableSize = 1024
+		table := make([]uint64, tableSize)
+		for i := range table {
+			table[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+		}
+		var version uint64
+		// Per-thread padded accumulators keep the probe results live
+		// (the reads cannot be dead-code-eliminated) without the readers
+		// sharing a cache line.
+		acc := make([]uint64, threads*8)
+		read := func(t *locks.Thread, op int) {
+			h := uint64(op)*0x9e3779b97f4a7c15 + uint64(t.ID)
+			for i := 0; i < 3; i++ {
+				h = table[h%tableSize] + h>>7
+			}
+			acc[t.ID*8] += h
+		}
+		write := func() {
+			version++
+			table[version%tableSize] = version | 1
+		}
+		if rw != nil {
+			return func(t *locks.Thread, op int) {
+				if op%100 < readPct {
+					rw.RLock(t)
+					read(t, op)
+					rw.RUnlock(t)
+				} else {
+					rw.Lock(t)
+					write()
+					rw.Unlock(t)
+				}
+			}
+		}
+		return func(t *locks.Thread, op int) {
+			m.Lock(t)
+			if op%100 < readPct {
+				read(t, op)
+			} else {
+				write()
+			}
+			m.Unlock(t)
+		}
+	}
+}
+
+// parseRatios parses the -readratios list of read percentages in
+// [0, 100]; empty disables the rwmix sweep.
+func parseRatios(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 0 || n > 100 {
+			return nil, fmt.Errorf("benchjson: bad read percentage %q in -readratios: use integers in [0, 100]", tok)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// dedupSorted returns the distinct values of ns in ascending order.
+func dedupSorted(ns []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, n := range ns {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // parseCounts parses a -threads list, or builds the default ladder: the
 // 1,2,4,8 doubling rungs, the machine-shaped points the paper's sweeps
 // pivot on (one thread per socket, GOMAXPROCS), and the oversubscribed
@@ -373,14 +547,5 @@ func parseCounts(s string, sockets int) ([]int, error) {
 			raw = append(raw, n*mult)
 		}
 	}
-	seen := map[int]bool{}
-	var out []int
-	for _, n := range raw {
-		if !seen[n] {
-			seen[n] = true
-			out = append(out, n)
-		}
-	}
-	sort.Ints(out)
-	return out, nil
+	return dedupSorted(raw), nil
 }

@@ -8,10 +8,15 @@
 //	go run ./cmd/kvserver -locks CNA,std -skew 0.99
 //	go run ./cmd/kvserver -locks CNA,CNA-park,std -threads 1x,4x -swap-every 20ms
 //	go run ./cmd/kvserver -locks CNA -threads 4x -deadline-frac 0.5 -max-retries 2
+//	go run ./cmd/kvserver -locks CNA-rw,CNA,std-rw -get 0,0.5,0.9,0.99,1   # read-ratio axis
 //	go run ./cmd/kvserver -render -out kvserver.json   # re-render/validate JSON
 //
 // Each -locks entry is measured in its own run with every shard under
-// that lock, so rows compare policies like the benchjson sweeps do;
+// that lock, so rows compare policies like the benchjson sweeps do.
+// Reader-writer specs ("CNA-rw", "std-rw", ...) serve Gets under read
+// holds; -get accepts a comma-separated list of read fractions, each a
+// separate run, so the read-ratio axis sweeps RW locks against their
+// exclusive bases end to end;
 // -swap-every additionally rotates all shard locks through the -locks
 // list *during* each run (live policy swap under traffic — throughput
 // and tails then include the handoff cost). -progress prints live
@@ -48,7 +53,7 @@ func main() {
 		skew      = flag.Float64("skew", 0.99, "zipfian theta in [0,1); 0 = uniform key popularity")
 		threads   = flag.String("threads", "1x,2x,4x", "comma-separated worker counts; 'Nx' means N*GOMAXPROCS")
 		keys      = flag.Uint64("keys", 1<<16, "key-space size")
-		readFrac  = flag.Float64("get", 0.9, "Get fraction of the mix (rest are Puts)")
+		readFracs = flag.String("get", "0.9", "comma-separated Get fractions of the mix (rest are Puts); each ratio is measured in its own run, e.g. 0,0.5,0.9,0.99,1 for the RW read-ratio sweep")
 		dur       = flag.Duration("dur", 200*time.Millisecond, "measured window per run")
 		warmup    = flag.Duration("warmup", 20*time.Millisecond, "untimed warmup per run")
 		getSLO    = flag.Duration("slo-get", 500*time.Microsecond, "per-Get latency budget (0 disables)")
@@ -93,6 +98,11 @@ func main() {
 	if *skew < 0 || *skew >= 1 {
 		die("-skew must be in [0, 1)")
 	}
+	ratios, err := parseFracs(*readFracs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	// Flag-combination validation: catch configurations that would
 	// silently measure something other than what was asked for.
 	if *getSLO < 0 || *putSLO < 0 {
@@ -127,60 +137,62 @@ func main() {
 	env := lockreg.Env{Topology: numa.TwoSocketXeonE5()}
 	var results []harness.Result
 	for _, spec := range specs {
-		for _, workers := range counts {
-			srv := kvserver.New(kvserver.Config{
-				Shards: *shards,
-				Locks:  []lockreg.Spec{spec},
-				Env:    env,
-				// Every worker may hold one acquisition; a little slack
-				// covers the swap rotation's drain acquisitions.
-				PoolCapacity: workers + 2,
-			})
-			load := kvserver.LoadSpec{
-				Keys:     *keys,
-				Theta:    *skew,
-				ReadFrac: *readFrac,
-				Workers:  workers,
-				Duration: window,
-				Warmup:   *warmup,
-				Seed:     *seed,
-				GetSLO:   *getSLO,
-				PutSLO:   *putSLO,
-				Prefill:  true,
-				Label:    spec.Name, // stable label even when rotation is on
+		for _, ratio := range ratios {
+			for _, workers := range counts {
+				srv := kvserver.New(kvserver.Config{
+					Shards: *shards,
+					Locks:  []lockreg.Spec{spec},
+					Env:    env,
+					// Every worker may hold one acquisition; a little slack
+					// covers the swap rotation's drain acquisitions.
+					PoolCapacity: workers + 2,
+				})
+				load := kvserver.LoadSpec{
+					Keys:     *keys,
+					Theta:    *skew,
+					ReadFrac: ratio,
+					Workers:  workers,
+					Duration: window,
+					Warmup:   *warmup,
+					Seed:     *seed,
+					GetSLO:   *getSLO,
+					PutSLO:   *putSLO,
+					Prefill:  true,
+					Label:    spec.Name, // stable label even when rotation is on
 
-				DeadlineFrac: *dlFrac,
-				MaxRetries:   *retries,
-				RetryBackoff: *backoff,
-			}
-			if *swapEvery > 0 {
-				load.SwapEvery = *swapEvery
-				load.SwapLocks = specs
-			}
-			if *progress {
-				load.SnapshotEvery = window / 4
-				load.OnLive = func(ls kvserver.LiveStats) {
-					fmt.Printf("  [%6.0fms] %s t%d: %d ops, get p99 %.0fµs, put p99 %.0fµs, %d SLO violations, %d shed, %d swaps\n",
-						float64(ls.Elapsed.Milliseconds()), spec.Name, workers, ls.Ops,
-						ls.GetP99Ns/1000, ls.PutP99Ns/1000, ls.SLOViolations, ls.Shed, ls.Swaps)
+					DeadlineFrac: *dlFrac,
+					MaxRetries:   *retries,
+					RetryBackoff: *backoff,
 				}
-			}
-			out := kvserver.Run(srv, load)
-			results = append(results, out.Results...)
-			if *swapEvery > 0 {
-				fmt.Printf("%s t%d: %d live swaps during the run\n", spec.Name, workers, out.Swaps)
-			}
-			if *dlFrac > 0 {
-				var admitted uint64
-				for _, r := range out.Results {
-					admitted += r.TotalOps
+				if *swapEvery > 0 {
+					load.SwapEvery = *swapEvery
+					load.SwapLocks = specs
 				}
-				rate := 0.0
-				if admitted+out.Shed > 0 {
-					rate = 100 * float64(out.Shed) / float64(admitted+out.Shed)
+				if *progress {
+					load.SnapshotEvery = window / 4
+					load.OnLive = func(ls kvserver.LiveStats) {
+						fmt.Printf("  [%6.0fms] %s t%d: %d ops, get p99 %.0fµs, put p99 %.0fµs, %d SLO violations, %d shed, %d swaps\n",
+							float64(ls.Elapsed.Milliseconds()), spec.Name, workers, ls.Ops,
+							ls.GetP99Ns/1000, ls.PutP99Ns/1000, ls.SLOViolations, ls.Shed, ls.Swaps)
+					}
 				}
-				fmt.Printf("%s t%d: shed %d of %d requests (%.2f%%)\n",
-					spec.Name, workers, out.Shed, admitted+out.Shed, rate)
+				out := kvserver.Run(srv, load)
+				results = append(results, out.Results...)
+				if *swapEvery > 0 {
+					fmt.Printf("%s t%d: %d live swaps during the run\n", spec.Name, workers, out.Swaps)
+				}
+				if *dlFrac > 0 {
+					var admitted uint64
+					for _, r := range out.Results {
+						admitted += r.TotalOps
+					}
+					rate := 0.0
+					if admitted+out.Shed > 0 {
+						rate = 100 * float64(out.Shed) / float64(admitted+out.Shed)
+					}
+					fmt.Printf("%s t%d: shed %d of %d requests (%.2f%%)\n",
+						spec.Name, workers, out.Shed, admitted+out.Shed, rate)
+				}
 			}
 		}
 	}
@@ -239,6 +251,22 @@ func writeMarkdownFile(path string, report harness.Report) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parseFracs parses the -get list of read fractions in [0, 1], in the
+// given order (the read-ratio axis is conventionally swept upward, but
+// the order is the caller's).
+func parseFracs(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok := strings.TrimSpace(tok)
+		f, err := strconv.ParseFloat(tok, 64)
+		if err != nil || f < 0 || f > 1 {
+			return nil, fmt.Errorf("kvserver: bad Get fraction %q in -get: use values in [0, 1] (e.g. \"0.9\" or \"0,0.5,0.9,0.99,1\")", tok)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 // parseCounts parses the -threads list; "Nx" entries mean

@@ -178,6 +178,40 @@ func (p *Pool) release(th *locks.Thread) {
 	p.stripes[sl.stripe].push(sl)
 }
 
+// claim pops a free slot, waiting (bounded spin, then scheduler
+// yields) for a release when every slot is busy. The adapters without
+// a reclaim cache (the RW adapter's paths) claim through this.
+func (p *Pool) claim() *locks.Thread {
+	if th := p.tryClaim(); th != nil {
+		return th
+	}
+	var w spinwait.Spinner
+	for {
+		w.Pause()
+		if th := p.tryClaim(); th != nil {
+			return th
+		}
+	}
+}
+
+// claimTimeout is claim with a deadline: nil when no release freed a
+// slot in time. The clock probes are amortized as in locks.PollTimeout.
+func (p *Pool) claimTimeout(deadline time.Time) *locks.Thread {
+	if th := p.tryClaim(); th != nil {
+		return th
+	}
+	var w spinwait.Spinner
+	for n := 1; ; n++ {
+		w.Pause()
+		if th := p.tryClaim(); th != nil {
+			return th
+		}
+		if (w.Yielding() || n%64 == 0) && !time.Now().Before(deadline) {
+			return nil
+		}
+	}
+}
+
 // Capacity reports the number of preallocated slots.
 func (p *Pool) Capacity() int { return len(p.slots) }
 

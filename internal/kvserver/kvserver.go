@@ -18,7 +18,9 @@
 // multiplicative hash routes each key to its shard. All shard locks
 // draw thread slots from one shared gonative.Pool, so the server's
 // concurrent-acquisition bound is a single knob and idle shards hold
-// no slot capacity hostage.
+// no slot capacity hostage. Shards built on a reader-writer spec
+// ("cna-rw", "std-rw", ...) serve Gets under read holds — concurrent
+// readers share the shard, and only Put/Update take the write side.
 //
 // # Live policy swap
 //
@@ -65,6 +67,21 @@ var ErrDeadline = errors.New("kvserver: deadline exceeded acquiring shard lock")
 type shardLock struct {
 	m    locks.NativeMutex
 	spec lockreg.Spec
+	// rw is the lock's reader-writer face when the spec has one
+	// ("cna-rw", "std-rw", ...), nil otherwise. When set, m is the same
+	// lock's write side, so the swap drain's m.Lock() drains readers and
+	// writers alike.
+	rw locks.NativeRWMutex
+}
+
+// releaseRead retires a hold taken by acquireRead/acquireReadWithin:
+// a read hold when the lock has a read side, the write hold otherwise.
+func (l *shardLock) releaseRead(viaRead bool) {
+	if viaRead {
+		l.rw.RUnlock()
+	} else {
+		l.m.Unlock()
+	}
 }
 
 // shard is one partition: a skiplist under a swappable lock. Padded so
@@ -125,6 +142,49 @@ func (s *shard) acquireWithin(deadline time.Time) (*shardLock, bool) {
 	}
 }
 
+// acquireRead locks the shard's current lock for reading when it has a
+// read side, falling back to the exclusive path otherwise; viaRead
+// reports which hold the caller got (release with releaseRead). The
+// same swap-retry validation as acquire applies: a read hold on a lock
+// that is no longer advertised is retired and the acquisition retried,
+// so data is only read under the lock that is current at validation
+// time. The swap drain takes the write side, which waits out read
+// holds too — readers never overlap a swap's publish window.
+func (s *shard) acquireRead() (l *shardLock, viaRead bool) {
+	for {
+		l := s.cur.Load()
+		if l.rw == nil {
+			return s.acquire(), false
+		}
+		l.rw.RLock()
+		if s.cur.Load() == l {
+			return l, true
+		}
+		l.rw.RUnlock()
+	}
+}
+
+// acquireReadWithin is acquireRead with a deadline, sharing acquire-
+// Within's budget semantics: the swap-retry loop recomputes the
+// remaining budget, so losing a swap race mid-wait does not restart
+// the clock.
+func (s *shard) acquireReadWithin(deadline time.Time) (l *shardLock, viaRead, ok bool) {
+	for {
+		l := s.cur.Load()
+		if l.rw == nil {
+			l2, ok := s.acquireWithin(deadline)
+			return l2, false, ok
+		}
+		if !l.rw.RLockTimeout(time.Until(deadline)) {
+			return nil, false, false
+		}
+		if s.cur.Load() == l {
+			return l, true, true
+		}
+		l.rw.RUnlock()
+	}
+}
+
 // Config describes a Server.
 type Config struct {
 	// Shards is the partition count; values below 1 are raised to 1.
@@ -174,19 +234,27 @@ func New(cfg Config) *Server {
 		sh := &srv.shards[i]
 		sh.store = minikv.NewSkipList(uint64(i)*0x9e3779b97f4a7c15 + 0x5e17)
 		spec := cfg.Locks[i%len(cfg.Locks)]
-		sh.cur.Store(&shardLock{m: srv.buildLock(spec), spec: spec})
+		sh.cur.Store(srv.buildLock(spec))
 	}
 	return srv
 }
 
-// buildLock constructs spec in goroutine-native form over the server's
-// shared slot pool (specs with their own native build — the stdlib
-// baselines — need no slots and bypass the pool).
-func (s *Server) buildLock(spec lockreg.Spec) locks.NativeMutex {
-	if spec.Native != nil {
-		return spec.Native(s.env)
+// buildLock constructs spec's shardLock in goroutine-native form over
+// the server's shared slot pool (specs with their own native build —
+// the stdlib baselines — need no slots and bypass the pool). Specs
+// with a read side are built through the RW adapter, so read-mostly
+// shards serve Gets under genuinely parallel read holds; the
+// shardLock's m is then the same lock's write side.
+func (s *Server) buildLock(spec lockreg.Spec) *shardLock {
+	if spec.RW {
+		if rwm, err := gonative.WrapRWWithPool(spec, s.env, s.pool); err == nil {
+			return &shardLock{m: rwm, spec: spec, rw: rwm}
+		}
 	}
-	return gonative.WrapWithPool(spec, s.env, s.pool)
+	if spec.Native != nil {
+		return &shardLock{m: spec.Native(s.env), spec: spec}
+	}
+	return &shardLock{m: gonative.WrapWithPool(spec, s.env, s.pool), spec: spec}
 }
 
 // shardFor routes a key to its shard (same multiplicative hash as the
@@ -196,12 +264,13 @@ func (s *Server) shardFor(key uint64) *shard {
 	return &s.shards[h%uint64(len(s.shards))]
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. On shards whose lock has a
+// read side, concurrent Gets share the shard under read holds.
 func (s *Server) Get(key uint64) (uint64, bool) {
 	sh := s.shardFor(key)
-	l := sh.acquire()
+	l, viaRead := sh.acquireRead()
 	v, ok := sh.store.Get(key)
-	l.m.Unlock()
+	l.releaseRead(viaRead)
 	return v, ok
 }
 
@@ -219,12 +288,12 @@ func (s *Server) Put(key, value uint64) {
 // probe.
 func (s *Server) GetWithin(key uint64, d time.Duration) (uint64, bool, error) {
 	sh := s.shardFor(key)
-	l, ok := sh.acquireWithin(time.Now().Add(d))
+	l, viaRead, ok := sh.acquireReadWithin(time.Now().Add(d))
 	if !ok {
 		return 0, false, ErrDeadline
 	}
 	v, found := sh.store.Get(key)
-	l.m.Unlock()
+	l.releaseRead(viaRead)
 	return v, found, nil
 }
 
@@ -258,14 +327,14 @@ func (s *Server) Update(key uint64, f func(old uint64, ok bool) uint64) uint64 {
 func (s *Server) Shards() int { return len(s.shards) }
 
 // Len returns the total number of keys across all shards (takes every
-// shard lock in turn).
+// shard lock in turn, for reading where the lock allows it).
 func (s *Server) Len() int {
 	n := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
-		l := sh.acquire()
+		l, viaRead := sh.acquireRead()
 		n += sh.store.Len()
-		l.m.Unlock()
+		l.releaseRead(viaRead)
 	}
 	return n
 }
@@ -308,7 +377,7 @@ func (s *Server) SwapShard(i int, spec lockreg.Spec) uint64 {
 		panic(fmt.Sprintf("kvserver: SwapShard(%d) on a %d-shard server", i, len(s.shards)))
 	}
 	sh := &s.shards[i]
-	nl := &shardLock{m: s.buildLock(spec), spec: spec}
+	nl := s.buildLock(spec)
 
 	sh.swapMu.Lock()
 	old := sh.cur.Load()

@@ -2,6 +2,7 @@ package kvserver
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -128,13 +129,17 @@ type workerStats struct {
 	hits       atomic.Uint64
 }
 
-// WorkloadName names the key distribution for result labels:
-// "uniform" or "zipf<theta>".
+// WorkloadName names the key distribution and operation mix for result
+// labels: "uniform-r100", "zipf0.99-r90", ... The read percentage is
+// part of the workload identity, so read-ratio sweeps (the axis RW
+// locks are measured along) compare by name like every other axis.
 func (s LoadSpec) WorkloadName() string {
-	if s.Theta == 0 {
-		return "uniform"
+	dist := "uniform"
+	if s.Theta != 0 {
+		dist = fmt.Sprintf("zipf%.2f", s.Theta)
 	}
-	return fmt.Sprintf("zipf%.2f", s.Theta)
+	frac := math.Min(math.Max(s.ReadFrac, 0), 1)
+	return fmt.Sprintf("%s-r%d", dist, int(math.Round(frac*100)))
 }
 
 func (s LoadSpec) sloFor(class int) time.Duration {

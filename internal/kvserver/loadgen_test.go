@@ -58,10 +58,10 @@ func TestLoadgenProducesPerClassResults(t *testing.T) {
 		if r.Fairness < 0.5 || r.Fairness > 1 {
 			t.Errorf("%s: fairness %v outside [0.5, 1]", class, r.Fairness)
 		}
-		if r.Lock != "CNA" || r.Threads != 4 || r.Workload != "kvserver/zipf0.99" {
+		if r.Lock != "CNA" || r.Threads != 4 || r.Workload != "kvserver/zipf0.99-r90" {
 			t.Errorf("%s: mislabelled result: %+v", class, r)
 		}
-		if want := "kvserver/zipf0.99/t4/CNA/" + class; r.Name != want {
+		if want := "kvserver/zipf0.99-r90/t4/CNA/" + class; r.Name != want {
 			t.Errorf("name = %q, want %q", r.Name, want)
 		}
 	}
@@ -83,7 +83,7 @@ func TestLoadgenUniformBaselineAndPureMix(t *testing.T) {
 	if len(out.Results) != 1 || out.Results[0].OpClass != "get" {
 		t.Fatalf("pure-get run produced %+v", out.Results)
 	}
-	if wl := out.Results[0].Workload; wl != "kvserver/uniform" {
+	if wl := out.Results[0].Workload; wl != "kvserver/uniform-r100" {
 		t.Fatalf("workload label = %q", wl)
 	}
 	if out.Results[0].WaitPolicy != "runtime" {
@@ -162,7 +162,7 @@ func TestWriteMarkdownRendersSLOTable(t *testing.T) {
 	md := b.String()
 	for _, want := range []string{
 		"# kvserver — serving under load",
-		"## Workload `kvserver/zipf0.99`",
+		"## Workload `kvserver/zipf0.99-r90`",
 		"| lock | workers | class |",
 		"| CNA | 4 | get |",
 		"| CNA | 4 | put |",

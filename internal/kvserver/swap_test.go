@@ -39,6 +39,7 @@ func TestSwapStormNoLostUpdates(t *testing.T) {
 	rotation := []lockreg.Spec{
 		lockreg.MustSpec("std"),
 		lockreg.MustSpec("mcs-park"),
+		lockreg.MustSpec("cna-rw"), // reader-writer shard mid-rotation
 		lockreg.MustSpec("cna"),
 		lockreg.MustSpec("c-bo-mcs"),
 	}

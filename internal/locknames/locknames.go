@@ -49,3 +49,9 @@ const (
 	// registered by default, reachable via the WithWait option.
 	BlockSuffix = "-block"
 )
+
+// RWSuffix marks the reader-writer construction over a base lock
+// ("CNA" + RWSuffix is the registered cohort-RW lock whose writer gate
+// is CNA; see internal/locks/rw). It matches the stdlib baseline's
+// "std-rw" spelling, so the whole RW family shares one suffix.
+const RWSuffix = "-rw"

@@ -36,6 +36,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/locks/cohort"
 	"repro/internal/locks/hmcs"
+	"repro/internal/locks/rw"
 	"repro/internal/numa"
 	"repro/internal/waiter"
 )
@@ -81,6 +82,19 @@ const (
 	NameHMCSPark   = locknames.HMCS + locknames.ParkSuffix
 	NameCNAPark    = locknames.CNA + locknames.ParkSuffix
 	NameCNAOptPark = locknames.CNAOpt + locknames.ParkSuffix
+)
+
+// Reader-writer variants (see registerRWVariants): the cohort-RW
+// construction of internal/locks/rw with the named base algorithm as
+// its writer gate, under the base name plus locknames.RWSuffix. The
+// stdlib "std-rw" spec completes the family as the runtime baseline.
+const (
+	NameMCSRW    = locknames.MCS + locknames.RWSuffix
+	NameCLHRW    = locknames.CLH + locknames.RWSuffix
+	NameCBOMCSRW = locknames.CBOMCS + locknames.RWSuffix
+	NameHMCSRW   = locknames.HMCS + locknames.RWSuffix
+	NameCNARW    = locknames.CNA + locknames.RWSuffix
+	NameCNAOptRW = locknames.CNAOpt + locknames.RWSuffix
 )
 
 // Env carries the construction-time environment shared by all lock
@@ -135,6 +149,13 @@ type Spec struct {
 	Description string
 	// NUMAAware reports whether the algorithm uses socket identity.
 	NUMAAware bool
+	// RW reports whether the built lock implements locks.RWMutex — a
+	// shared read side in addition to the writer contract. RW specs are
+	// picked up by the RW conformance storms, the read-ratio benchmark
+	// sweeps and the kvserver read path; consumers that only need a
+	// plain mutex can use an RW spec unchanged (its writer side is the
+	// full TimedMutex contract).
+	RW bool
 	// Wait is the canonical name of the waiting policy the Spec builds
 	// with ("spin" for every base algorithm; "spin-park" for the
 	// registered *-park variants; "runtime" for the stdlib baselines,
@@ -477,8 +498,9 @@ func init() {
 	Register(Spec{
 		Name:        NameStdRW,
 		Aliases:     []string{"sync-rwmutex", "stdlib-rw"},
-		Description: "write-locked sync.RWMutex: the RWMutex used as a plain mutex",
+		Description: "sync.RWMutex: write-locked as a mutex, the runtime RW baseline",
 		Wait:        "runtime",
+		RW:          true,
 		Build: func(env Env, opts ...Option) locks.Mutex {
 			return locks.NewStdRW()
 		},
@@ -486,6 +508,14 @@ func init() {
 			return locks.NewStdRWNative()
 		},
 	})
+
+	// Reader-writer variants: the cohort-RW construction over each base
+	// that makes a sensible writer gate — the queue and NUMA-aware
+	// locks whose writer-vs-writer arbitration is the point of the
+	// comparison. Registered last so base sweeps keep their positions.
+	registerRWVariants(
+		NameMCS, NameCLH, NameCBOMCS, NameHMCS, NameCNA, NameCNAOpt,
+	)
 }
 
 // registerParkVariants derives a "<base>-park" Spec for each named base
@@ -514,5 +544,48 @@ func registerParkVariants(bases ...string) {
 			park.Aliases = append(park.Aliases, a+locknames.ParkSuffix)
 		}
 		Register(park)
+	}
+}
+
+// registerRWVariants derives a "<base>-rw" Spec for each named base
+// algorithm: the internal/locks/rw cohort-RW construction with the
+// base lock as its writer gate and one read-indicator stripe per
+// socket. The base's options pass straight through to the gate (a
+// CNA-rw honours WithThreshold exactly like CNA), WithReaderNeutral
+// selects the RW admission mode, and the registry's uniform WithWait /
+// WithStats handling reaches both layers through the RW lock's
+// SetWait/EnableStats forwarding. Like the park variants, the derived
+// spec inherits the base's aliases with the suffix appended.
+func registerRWVariants(bases ...string) {
+	for _, base := range bases {
+		spec, ok := Lookup(base)
+		if !ok {
+			panic(fmt.Sprintf("lockreg: RW variant of unregistered %q", base))
+		}
+		baseBuild := spec.Build
+		rwSpec := Spec{
+			Name:        spec.Name + locknames.RWSuffix,
+			Description: "NUMA-aware RW lock: per-socket read indicators, " + spec.Name + " writer gate",
+			NUMAAware:   true,
+			RW:          true,
+			Wait:        spec.Wait,
+			Build: func(env Env, opts ...Option) locks.Mutex {
+				gate, timed := baseBuild(env, opts...).(locks.TimedMutex)
+				if !timed {
+					// Unreachable for registered bases (every lock in the
+					// registry is timed); guards hand-rolled Specs.
+					panic(fmt.Sprintf("lockreg: RW gate %q is not a TimedMutex", base))
+				}
+				var ropts []rw.Option
+				if c := apply(opts); c.rwNeutralSet && c.rwNeutral {
+					ropts = append(ropts, rw.Neutral())
+				}
+				return rw.New(gate, env.Sockets(), env.Threads(), ropts...)
+			},
+		}
+		for _, a := range spec.Aliases {
+			rwSpec.Aliases = append(rwSpec.Aliases, a+locknames.RWSuffix)
+		}
+		Register(rwSpec)
 	}
 }

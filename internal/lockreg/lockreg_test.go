@@ -20,6 +20,7 @@ var wantNames = []string{
 	NameMCSPark, NameCLHPark, NameMCSCRPark,
 	NameCBOMCSPark, NameHMCSPark, NameCNAPark, NameCNAOptPark,
 	NameStd, NameStdRW,
+	NameMCSRW, NameCLHRW, NameCBOMCSRW, NameHMCSRW, NameCNARW, NameCNAOptRW,
 }
 
 func TestNamesCoverEveryAlgorithm(t *testing.T) {

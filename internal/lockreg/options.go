@@ -33,6 +33,9 @@ type config struct {
 	stats bool // enable holder-side statistics collection
 
 	wait waiter.Policy // waiting policy; nil = leave the lock's default
+
+	rwNeutralSet bool
+	rwNeutral    bool // RW mode: reader-neutral instead of writer preference
 }
 
 // Option tunes one policy knob; see the With* constructors.
@@ -112,6 +115,16 @@ func WithMinActive(n int) Option {
 // explicit WithWait overrides it.
 func WithWait(p waiter.Policy) Option {
 	return func(c *config) { c.wait = p }
+}
+
+// WithReaderNeutral selects the RW admission mode for the "*-rw"
+// specs (see internal/locks/rw): true builds reader-neutral locks
+// (readers defer only to a writer that holds the gate), false the
+// default writer preference (readers also defer to writers waiting at
+// the gate, so reader floods cannot starve writers). Non-RW specs
+// ignore the option.
+func WithReaderNeutral(on bool) Option {
+	return func(c *config) { c.rwNeutralSet = true; c.rwNeutral = on }
 }
 
 // WithStats toggles holder-side statistics collection (handover

@@ -1,0 +1,193 @@
+package lockreg
+
+// Bounded-wait RW conformance, mirroring timeout_conformance_test.go
+// on the read side: an expired RLockTimeout/LockTimeout must leave no
+// trace — read indicators back at zero, writer gate released, no
+// nesting slot consumed — and the jittered-deadline mixed R/W storm
+// must keep exact counter agreement (no grant lost to, or duplicated
+// by, the timeout-vs-admission races on either side).
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/locks"
+)
+
+// TestConformanceRWTimeoutExpiry drives both timed acquires into a
+// held lock: reader timeouts against a writer, then a writer timeout
+// against readers. Every expiry must leave depth zero, indicators
+// zero, and the lock fully functional.
+func TestConformanceRWTimeoutExpiry(t *testing.T) {
+	for _, spec := range rwSpecs(t) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 4
+			m := buildRW(t, spec, workers)
+			ths := confThreads(workers)
+
+			// Readers against a held writer: all expire clean.
+			m.Lock(ths[0])
+			var wg sync.WaitGroup
+			for w := 1; w < workers; w++ {
+				wg.Add(1)
+				go func(th *locks.Thread) {
+					defer wg.Done()
+					if m.RLockTimeout(th, 2*time.Millisecond) {
+						t.Errorf("%s: timed read acquire succeeded with a writer inside", spec.Name)
+						m.RUnlock(th)
+						return
+					}
+					if d := th.Depth(); d != 0 {
+						t.Errorf("%s: expired read acquire left nesting depth %d", spec.Name, d)
+					}
+				}(ths[w])
+			}
+			wg.Wait()
+			if n, ok := readerCount(m); ok && n != 0 {
+				t.Errorf("%s: read indicators at %d under a writer (blips must retire), want 0", spec.Name, n)
+			}
+			m.Unlock(ths[0])
+
+			// A writer against held readers: the timed acquire expires
+			// and must release the gate and retract its intent — pinned
+			// by readers being admissible immediately after, and by the
+			// gate being acquirable once the readers leave.
+			m.RLock(ths[0])
+			m.RLock(ths[1])
+			if m.LockTimeout(ths[2], 2*time.Millisecond) {
+				t.Fatalf("%s: timed write acquire succeeded with readers inside", spec.Name)
+			}
+			if d := ths[2].Depth(); d != 0 {
+				t.Fatalf("%s: expired write acquire left nesting depth %d", spec.Name, d)
+			}
+			if !m.RTryLock(ths[2]) {
+				t.Fatalf("%s: reader blocked after a writer's timed acquire expired (stale intent)", spec.Name)
+			}
+			m.RUnlock(ths[2])
+			m.RUnlock(ths[1])
+			m.RUnlock(ths[0])
+			if !m.TryLock(ths[3]) {
+				t.Fatalf("%s: writer gate not released by the timed back-out", spec.Name)
+			}
+			m.Unlock(ths[3])
+
+			// Generous timed acquires on the now-free lock win on both
+			// sides.
+			if !m.RLockTimeout(ths[0], 5*time.Second) {
+				t.Fatalf("%s: timed read acquire of a free lock expired", spec.Name)
+			}
+			m.RUnlock(ths[0])
+			if !m.LockTimeout(ths[0], 5*time.Second) {
+				t.Fatalf("%s: timed write acquire of a free lock expired", spec.Name)
+			}
+			m.Unlock(ths[0])
+		})
+	}
+}
+
+// TestConformanceRWTimeoutStorm interleaves plain, try and timed
+// acquires on both sides with deadlines jittered around the handover
+// latency. Writer-side mirrored counters must agree exactly with the
+// writer-success atomic; readers assert the mirrors never tear.
+func TestConformanceRWTimeoutStorm(t *testing.T) {
+	for _, spec := range rwSpecs(t) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			const workers = 6
+			iters := confIters(t) / 4
+			m := buildRW(t, spec, workers)
+			ths := confThreads(workers)
+
+			var c1, c2 uint64
+			var wacquired, shed atomic.Uint64
+			var winside atomic.Int32
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := ths[w]
+					for i := 0; i < iters; i++ {
+						write := false
+						switch (w + i) % 8 {
+						case 0:
+							m.Lock(th)
+							write = true
+						case 1:
+							if !m.TryLock(th) {
+								shed.Add(1)
+								continue
+							}
+							write = true
+						case 2, 3:
+							if !m.LockTimeout(th, time.Duration(i%7)*time.Microsecond) {
+								shed.Add(1)
+								continue
+							}
+							write = true
+						case 4:
+							m.RLock(th)
+						case 5:
+							if !m.RTryLock(th) {
+								shed.Add(1)
+								continue
+							}
+						default:
+							if !m.RLockTimeout(th, time.Duration(i%5)*time.Microsecond) {
+								shed.Add(1)
+								continue
+							}
+						}
+						if write {
+							if winside.Add(1) != 1 {
+								t.Errorf("%s: two writers inside", spec.Name)
+							}
+							c1++
+							c2++
+							wacquired.Add(1)
+							winside.Add(-1)
+							m.Unlock(th)
+						} else {
+							if winside.Load() != 0 {
+								t.Errorf("%s: reader admitted with a writer inside", spec.Name)
+							}
+							if r1, r2 := c1, c2; r1 != r2 {
+								t.Errorf("%s: reader saw torn counters %d != %d", spec.Name, r1, r2)
+							}
+							m.RUnlock(th)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if c1 != wacquired.Load() || c1 != c2 {
+				t.Fatalf("%s: counters (%d, %d) != writer acquisitions %d (shed %d)",
+					spec.Name, c1, c2, wacquired.Load(), shed.Load())
+			}
+			for w, th := range ths {
+				if d := th.Depth(); d != 0 {
+					t.Fatalf("%s: thread %d left at nesting depth %d after storm", spec.Name, w, d)
+				}
+			}
+			if n, ok := readerCount(m); ok && n != 0 {
+				t.Fatalf("%s: read indicators at %d after storm, want 0", spec.Name, n)
+			}
+			// Post-storm functional check on every thread identity, both
+			// sides.
+			for _, th := range ths {
+				m.Lock(th)
+				c1++
+				c2++
+				wacquired.Add(1)
+				m.Unlock(th)
+				m.RLock(th)
+				m.RUnlock(th)
+			}
+		})
+	}
+}

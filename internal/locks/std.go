@@ -39,15 +39,19 @@ func (l *Std) LockTimeout(t *Thread, d time.Duration) bool {
 // Name implements Mutex.
 func (l *Std) Name() string { return "std" }
 
-// StdRW is the write-locked sync.RWMutex baseline ("std-rw"): every
-// acquisition takes the write side, so it is a mutex with the RWMutex's
-// heavier writer bookkeeping — the honest baseline for code that guards
-// mostly-written state with an RWMutex.
+// StdRW is the sync.RWMutex baseline ("std-rw"). Its Mutex face is
+// write-locked — every Lock takes the write side, so used as a plain
+// mutex it is the honest baseline for code that guards mostly-written
+// state with an RWMutex — and it implements the full RWMutex contract,
+// making it the runtime baseline the cohort-RW constructions
+// (internal/locks/rw) are measured against. The Thread argument is
+// ignored throughout: the Go runtime manages waiting, handover and
+// reader counting itself.
 type StdRW struct {
 	mu sync.RWMutex
 }
 
-// NewStdRW returns the write-locked sync.RWMutex baseline lock.
+// NewStdRW returns the sync.RWMutex baseline lock.
 func NewStdRW() *StdRW { return &StdRW{} }
 
 // Lock implements Mutex.
@@ -62,6 +66,21 @@ func (l *StdRW) Unlock(t *Thread) { l.mu.Unlock() }
 // LockTimeout implements TimedMutex (TryLock poll; see Std.LockTimeout).
 func (l *StdRW) LockTimeout(t *Thread, d time.Duration) bool {
 	return PollTimeout(l.mu.TryLock, d)
+}
+
+// RLock implements RWMutex.
+func (l *StdRW) RLock(t *Thread) { l.mu.RLock() }
+
+// RUnlock implements RWMutex.
+func (l *StdRW) RUnlock(t *Thread) { l.mu.RUnlock() }
+
+// RTryLock implements RWMutex.
+func (l *StdRW) RTryLock(t *Thread) bool { return l.mu.TryRLock() }
+
+// RLockTimeout implements RWMutex (TryRLock poll; sync.RWMutex exposes
+// no timed wait, like its mutex sibling).
+func (l *StdRW) RLockTimeout(t *Thread, d time.Duration) bool {
+	return PollTimeout(l.mu.TryRLock, d)
 }
 
 // Name implements Mutex.
@@ -100,14 +119,15 @@ func (l *StdNative) LockContext(ctx context.Context) error {
 // Name implements NativeMutex.
 func (l *StdNative) Name() string { return "std" }
 
-// StdRWNative is the write-locked sync.RWMutex under the NativeMutex
-// contract.
+// StdRWNative is sync.RWMutex under the NativeRWMutex contract: the
+// write-locked NativeMutex face plus the real reader methods — the
+// zero-adapter baseline for the goroutine-native RW path
+// (repro.NewRWMutex, gonative.WrapRW).
 type StdRWNative struct {
 	mu sync.RWMutex
 }
 
-// NewStdRWNative returns the goroutine-native write-locked RWMutex
-// baseline.
+// NewStdRWNative returns the goroutine-native sync.RWMutex baseline.
 func NewStdRWNative() *StdRWNative { return &StdRWNative{} }
 
 // Lock implements NativeMutex.
@@ -130,12 +150,32 @@ func (l *StdRWNative) LockContext(ctx context.Context) error {
 	return ContextLock(ctx, l)
 }
 
+// RLock implements NativeRWMutex.
+func (l *StdRWNative) RLock() { l.mu.RLock() }
+
+// RUnlock implements NativeRWMutex.
+func (l *StdRWNative) RUnlock() { l.mu.RUnlock() }
+
+// TryRLock implements NativeRWMutex.
+func (l *StdRWNative) TryRLock() bool { return l.mu.TryRLock() }
+
+// RLockTimeout implements NativeRWMutex (TryRLock poll; see
+// StdRW.RLockTimeout).
+func (l *StdRWNative) RLockTimeout(d time.Duration) bool {
+	return PollTimeout(l.mu.TryRLock, d)
+}
+
+// RLocker implements NativeRWMutex.
+func (l *StdRWNative) RLocker() sync.Locker { return l.mu.RLocker() }
+
 // Name implements NativeMutex.
 func (l *StdRWNative) Name() string { return "std-rw" }
 
 var (
 	_ TimedMutex       = (*Std)(nil)
 	_ TimedMutex       = (*StdRW)(nil)
+	_ RWMutex          = (*StdRW)(nil)
 	_ TimedNativeMutex = (*StdNative)(nil)
 	_ TimedNativeMutex = (*StdRWNative)(nil)
+	_ NativeRWMutex    = (*StdRWNative)(nil)
 )

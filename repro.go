@@ -47,6 +47,27 @@
 // Every TryLock — on the native form and on the *Thread form — is a
 // pure fast-path probe: it never blocks and never joins a queue.
 //
+// # Reader-writer locks
+//
+// Every queue-lock family also registers a NUMA-aware reader-writer
+// form under the "-rw" suffix ("mcs-rw", "cna-rw", "hmcs-rw", ...):
+// per-socket cache-line-padded read indicators in front of the base
+// lock as the writer gate, so read-mostly workloads never bounce a
+// shared reader counter between sockets. NewRWMutex returns the
+// sync.RWMutex method shape for any of them ("std-rw" included, as
+// the runtime baseline):
+//
+//	var mu = repro.MustNewRWMutex("cna-rw")
+//	mu.RLock(); ...read...; mu.RUnlock()
+//	mu.Lock();  ...write...; mu.Unlock()
+//
+// Writers are preferred by default (a waiting writer pauses new reader
+// admission, so reader floods cannot starve it); WithReaderNeutral
+// restores reader-neutral admission. Both read and write sides carry
+// the timed faces (RLockTimeout, LockTimeout, LockContext), and the
+// *Thread form is available through Build as locks implementing
+// RWMutex.
+//
 // # Bounded-wait acquisition
 //
 // Every lock also implements LockTimeout — a timed acquire that gives
@@ -99,6 +120,16 @@ type TimedMutex = locks.TimedMutex
 // NativeMutex with LockTimeout(d) and LockContext(ctx). It is what
 // NewMutex returns, so the timed forms need no type assertion.
 type TimedNativeMutex = locks.TimedNativeMutex
+
+// RWMutex is the reader-writer contract in *Thread form: a TimedMutex
+// (the write side) plus RLock/RUnlock/RTryLock/RLockTimeout. Every
+// "-rw" registered lock builds one.
+type RWMutex = locks.RWMutex
+
+// NativeRWMutex is the goroutine-native reader-writer contract — the
+// sync.RWMutex method shape plus the timed faces on both sides. It is
+// what NewRWMutex returns.
+type NativeRWMutex = locks.NativeRWMutex
 
 // Thread is a worker's identity (dense id, NUMA socket, private PRNG),
 // passed to every Lock/Unlock call.
@@ -172,6 +203,28 @@ func MustNewMutex(name string, opts ...BuildOption) TimedNativeMutex {
 	return gonative.MustNew(name, Env{}, opts...)
 }
 
+// NewRWMutex builds the named reader-writer lock in goroutine-native
+// form: the sync.RWMutex method shape (RLock/RUnlock/RLocker alongside
+// Lock/TryLock/Unlock and the timed faces) over any "-rw" registered
+// lock, or "std-rw" for the runtime baseline. Read holds follow
+// sync.RWMutex rules — a different goroutine may RUnlock. Names
+// without a read side return an error pointing at their "-rw" form.
+func NewRWMutex(name string, opts ...BuildOption) (NativeRWMutex, error) {
+	return gonative.NewRW(name, Env{}, opts...)
+}
+
+// NewRWMutexIn is NewRWMutex with an explicit environment; the slot
+// pool bounds concurrent acquisitions of both kinds together (readers
+// beyond the capacity wait for a slot, not for the lock).
+func NewRWMutexIn(name string, env Env, opts ...BuildOption) (NativeRWMutex, error) {
+	return gonative.NewRW(name, env, opts...)
+}
+
+// MustNewRWMutex is NewRWMutex for statically known names.
+func MustNewRWMutex(name string, opts ...BuildOption) NativeRWMutex {
+	return gonative.MustNewRW(name, Env{}, opts...)
+}
+
 // LockWithContext acquires m unless ctx is cancelled or its deadline
 // passes first: nil means the mutex is held; otherwise the context's
 // error is returned and the mutex is untouched. Cancellation (as
@@ -237,6 +290,13 @@ func ParkWait() WaitPolicy { return waiter.Park{} }
 // a parkable waiter (the ticket family) degrade to yield-per-recheck
 // under parking policies.
 func WithWait(p WaitPolicy) BuildOption { return lockreg.WithWait(p) }
+
+// WithReaderNeutral switches a "-rw" lock from the default writer
+// preference (a waiting writer pauses new reader admission) to
+// reader-neutral admission, where readers pass whenever no writer is
+// inside. Neutral admission maximizes read throughput but lets a
+// sustained reader flood delay writers indefinitely.
+func WithReaderNeutral(on bool) BuildOption { return lockreg.WithReaderNeutral(on) }
 
 // WithStats toggles holder-side statistics collection (handover
 // locality, secondary-queue traffic). Statistics default to off so a

@@ -1,0 +1,53 @@
+package repro
+
+// Facade smoke test for the reader-writer surface: NewRWMutex returns
+// the sync.RWMutex shape for "-rw" names, Build's *Thread form
+// satisfies RWMutex, and the non-RW error points at the "-rw" variant.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFacadeRWMutex(t *testing.T) {
+	mu := MustNewRWMutex("cna-rw")
+	var _ sync.Locker = mu
+	var _ sync.Locker = mu.RLocker()
+
+	mu.RLock()
+	if mu.TryLock() {
+		t.Fatal("writer TryLock succeeded under a read hold")
+	}
+	mu.RUnlock()
+
+	mu.Lock()
+	if mu.TryRLock() {
+		t.Fatal("TryRLock succeeded under a write hold")
+	}
+	if mu.RLockTimeout(time.Millisecond) {
+		t.Fatal("timed read acquire succeeded under a write hold")
+	}
+	mu.Unlock()
+
+	if _, err := NewRWMutex("cna"); err == nil {
+		t.Fatal("NewRWMutex accepted a lock without a read side")
+	} else if !strings.Contains(err.Error(), "cna-rw") && !strings.Contains(err.Error(), "CNA-rw") {
+		t.Fatalf("error %q does not point at the -rw variant", err)
+	}
+}
+
+func TestFacadeRWBuild(t *testing.T) {
+	env := Env{MaxThreads: 2, Topology: TwoSocketXeonE5()}
+	m := MustBuild("mcs-rw", env)
+	rw, ok := m.(RWMutex)
+	if !ok {
+		t.Fatalf("MustBuild(mcs-rw) returned %T, not an RWMutex", m)
+	}
+	th := NewThread(0, 0)
+	rw.RLock(th)
+	rw.RUnlock(th)
+	rw.Lock(th)
+	rw.Unlock(th)
+}
