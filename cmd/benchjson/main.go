@@ -67,6 +67,7 @@ func main() {
 		short    = flag.Bool("short", false, "smoke mode for CI: ~4x shorter measurement windows and fewer repeats (noisier numbers)")
 		ratios   = flag.String("readratios", "0,50,90,99,100", "comma-separated read percentages for the rwmix sweep over the reader-writer locks and their exclusive bases (empty disables the sweep)")
 		goNative = flag.Bool("gonative", true, "include the go-native sweeps: adapter-overhead latency per lock plus a contended spin-native rung")
+		gate     = flag.String("gonativegate", "", "adapter-overhead ratio gate, LOCK:BASE:RATIO (e.g. CNA-fissile:std:1.1): after the sweep, fail unless go-native uncontended ns/op of LOCK / BASE <= RATIO; both locks must be in -locks and -gonative enabled")
 		md       = flag.Bool("md", false, "also render the report as markdown (see -mdout)")
 		mdOut    = flag.String("mdout", "BENCHMARKS.md", "output file for the markdown rendering")
 		render   = flag.Bool("render", false, "skip measurement: re-render -mdout from the existing -out JSON (implies -md)")
@@ -264,6 +265,58 @@ func main() {
 		fmt.Printf(" and %s", *mdOut)
 	}
 	fmt.Println()
+
+	if *gate != "" {
+		if err := checkGoNativeGate(*gate, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkGoNativeGate enforces a -gonativegate spec against the run's own
+// go-native uncontended results. The gate is a CI guard for the fused
+// fast paths: "CNA-fissile:std:1.1" fails the run if the drop-in
+// CNA-fissile pair costs more than 1.1x sync.Mutex's. It reads the
+// results just measured — not the checked-in baseline — so the gate
+// tracks the runner it executes on.
+func checkGoNativeGate(gate string, results []harness.Result) error {
+	parts := strings.Split(gate, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("benchjson: bad -gonativegate %q: want LOCK:BASE:RATIO", gate)
+	}
+	maxRatio, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || maxRatio <= 0 {
+		return fmt.Errorf("benchjson: bad -gonativegate ratio %q", parts[2])
+	}
+	nsOf := func(lock string) (float64, error) {
+		spec, ok := lockreg.Lookup(lock)
+		if !ok {
+			return 0, lockreg.UnknownLockError(lock)
+		}
+		for _, r := range results {
+			if r.Workload == "go-native" && r.Lock == spec.Name {
+				return r.NsPerOp, nil
+			}
+		}
+		return 0, fmt.Errorf("benchjson: -gonativegate lock %q has no go-native result in this run (is it in -locks, with -gonative on?)", lock)
+	}
+	lockNs, err := nsOf(parts[0])
+	if err != nil {
+		return err
+	}
+	baseNs, err := nsOf(parts[1])
+	if err != nil {
+		return err
+	}
+	ratio := lockNs / baseNs
+	fmt.Printf("gonativegate: %s %.2fns / %s %.2fns = %.3fx (max %.3fx)\n",
+		parts[0], lockNs, parts[1], baseNs, ratio, maxRatio)
+	if ratio > maxRatio {
+		return fmt.Errorf("benchjson: adapter-overhead gate failed: go-native %s is %.3fx of %s, above the %.3fx bound",
+			parts[0], ratio, parts[1], maxRatio)
+	}
+	return nil
 }
 
 func readReportFile(path string) (harness.Report, error) {

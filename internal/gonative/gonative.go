@@ -56,6 +56,7 @@ import (
 
 	"repro/internal/lockreg"
 	"repro/internal/locks"
+	"repro/internal/locks/fissile"
 	"repro/internal/numa"
 	"repro/internal/spinwait"
 )
@@ -152,30 +153,45 @@ func NewPool(capacity int, topo numa.Topology) *Pool {
 // stable, so one goroutine keeps hitting one stripe (and, LIFO, often
 // the very slot it just released) without any shared counter to
 // contend on. Only the hint quality depends on this — any value is
-// correct.
-func stripeHint() uintptr {
+// correct. A variable so the cross-stripe reclaim tests can pin the
+// hint.
+var stripeHint = func() uintptr {
 	var probe byte
 	return uintptr(unsafe.Pointer(&probe)) >> 10
 }
 
 // tryClaim pops a free Thread slot: one pass over the stripes, nil
 // when every slot is busy (the adapter's claim loop and TryLock both
-// build on this; TryLock must not block, not even on slots).
+// build on this; TryLock must not block, not even on slots). The
+// thread's socket identity is restamped to the stripe it was popped
+// from — stripes are per-socket, so a slot that migrated stripes (see
+// release) must not keep advertising its construction-time socket to
+// the NUMA-aware locks.
 func (p *Pool) tryClaim() *locks.Thread {
 	h := int(stripeHint())
 	n := len(p.stripes)
 	for i := 0; i < n; i++ {
-		if sl := p.stripes[(h+i)%n].pop(); sl != nil {
+		j := (h + i) % n
+		if sl := p.stripes[j].pop(); sl != nil {
+			sl.th.Socket = j
 			return sl.th
 		}
 	}
 	return nil
 }
 
-// release returns a claimed Thread to its home stripe.
+// release returns a claimed Thread to the stripe the releasing
+// goroutine's hint points at now — re-probed per release, not the
+// stamp from the claim. A goroutine that migrated between acquires
+// (or a critical section handed across goroutines) parks the slot
+// where the *next* acquire from here will look first, instead of
+// pinning it to a stale home; tryClaim restamps the socket on the way
+// back out.
 func (p *Pool) release(th *locks.Thread) {
 	sl := &p.slots[th.ID]
-	p.stripes[sl.stripe].push(sl)
+	h := int(stripeHint()) % len(p.stripes)
+	sl.stripe = int32(h)
+	p.stripes[h].push(sl)
 }
 
 // claim pops a free slot, waiting (bounded spin, then scheduler
@@ -245,7 +261,19 @@ func (*noCopy) Unlock() {}
 type Mutex struct {
 	noCopy noCopy
 	inner  locks.Mutex
-	pool   *Pool
+	// fast is set iff the inner lock is a Fissile composite, as a
+	// concrete pointer so the uncontended path is one predictable
+	// branch plus an inlinable CAS — an interface dispatch here would
+	// cost more than the CAS it guards. When set, Lock/TryLock try the
+	// one-CAS fast path before touching the slot pool at all, Unlock is
+	// a single RMW with no slot involved, and only the contended
+	// fallback claims a Thread (returning it before the critical
+	// section runs, since a Fissile critical section holds only the
+	// outer word). This is what closes the adapter-overhead gap to
+	// sync.Mutex: the common case allocates nothing and touches no
+	// freelist.
+	fast *fissile.Lock
+	pool *Pool
 	// cache is a one-slot reclaim fast path: Unlock parks its slot here
 	// (one CAS) and the next Lock swaps it out (one exchange) instead of
 	// both taking a stripe latch — the steady-state adapter cost is two
@@ -323,8 +351,23 @@ func (m *Mutex) put(th *locks.Thread) {
 }
 
 // Lock implements locks.NativeMutex (and sync.Locker): claim a thread
-// slot, run the real acquisition on it.
+// slot, run the real acquisition on it. A Fissile inner lock claims
+// the slot only on the contended fallback — and returns it before the
+// critical section, because Fissile holds nothing but its outer word
+// across the caller's critical section.
 func (m *Mutex) Lock() {
+	if f := m.fast; f != nil {
+		if f.TryFast() {
+			return
+		}
+		th := m.claim()
+		if th.Depth() != 0 {
+			panic(fmt.Sprintf("gonative: pooled thread %d claimed at nesting depth %d", th.ID, th.Depth()))
+		}
+		f.LockSlow(th)
+		m.put(th)
+		return
+	}
 	th := m.claim()
 	if th.Depth() != 0 {
 		panic(fmt.Sprintf("gonative: pooled thread %d claimed at nesting depth %d", th.ID, th.Depth()))
@@ -338,6 +381,12 @@ func (m *Mutex) Lock() {
 // inner lock's TryLock, which never queues (and never touches waiter
 // state; see waiter.TryPolicy).
 func (m *Mutex) TryLock() bool {
+	if f := m.fast; f != nil {
+		// Pure fast path: a fissile TryLock is the outer-word CAS and
+		// nothing else — no slot, no pool, so it cannot fail for lack
+		// of a slot either.
+		return f.TryFast()
+	}
 	th := m.cache.Swap(nil)
 	if th == nil {
 		if th = m.pool.tryClaim(); th == nil {
@@ -363,6 +412,22 @@ func (m *Mutex) TryLock() bool {
 func (m *Mutex) LockTimeout(d time.Duration) bool {
 	if d <= 0 {
 		return m.TryLock()
+	}
+	if f := m.fast; f != nil {
+		if f.TryFast() {
+			return true
+		}
+		deadline := time.Now().Add(d)
+		th := m.claimTimeout(deadline)
+		if th == nil {
+			return false
+		}
+		if th.Depth() != 0 {
+			panic(fmt.Sprintf("gonative: pooled thread %d claimed at nesting depth %d", th.ID, th.Depth()))
+		}
+		ok := f.LockSlowTimeout(th, time.Until(deadline))
+		m.put(th)
+		return ok
 	}
 	deadline := time.Now().Add(d)
 	th := m.claimTimeout(deadline)
@@ -405,6 +470,13 @@ func LockWithContext(ctx context.Context, m locks.TimedNativeMutex) error {
 // claiming thread, then return the slot (in that order — the thread's
 // queue node is in use until the release completes).
 func (m *Mutex) Unlock() {
+	if f := m.fast; f != nil {
+		// Both fissile paths hold only the outer word here (the slow
+		// path already returned its slot), so release is one RMW;
+		// UnlockFast panics on an unlocked word.
+		f.UnlockFast()
+		return
+	}
 	th := m.holder
 	if th == nil {
 		panic("gonative: Unlock of an unlocked " + m.inner.Name())
@@ -477,7 +549,17 @@ func Wrap(spec lockreg.Spec, env lockreg.Env, opts ...lockreg.Option) locks.Time
 	if env.MaxThreads < 1 {
 		env.MaxThreads = DefaultCapacity()
 	}
-	return &Mutex{inner: spec.Build(env, opts...), pool: NewPool(env.MaxThreads, env.Topology)}
+	return newMutex(spec.Build(env, opts...), NewPool(env.MaxThreads, env.Topology), false)
+}
+
+// newMutex assembles an adapter, devirtualizing a Fissile inner lock
+// into the concrete fast-path field (see Mutex.fast).
+func newMutex(inner locks.Mutex, pool *Pool, shared bool) *Mutex {
+	m := &Mutex{inner: inner, pool: pool, shared: shared}
+	if f, ok := inner.(*fissile.Lock); ok {
+		m.fast = f
+	}
+	return m
 }
 
 // WrapWithPool builds spec's lock over an existing slot pool, so many
@@ -489,7 +571,7 @@ func WrapWithPool(spec lockreg.Spec, env lockreg.Env, pool *Pool, opts ...lockre
 	if env.MaxThreads < pool.Capacity() {
 		env.MaxThreads = pool.Capacity()
 	}
-	return &Mutex{inner: spec.Build(env, opts...), pool: pool, shared: true}
+	return newMutex(spec.Build(env, opts...), pool, true)
 }
 
 var _ locks.NativeMutex = (*Mutex)(nil)

@@ -1,0 +1,94 @@
+package gonative
+
+// White-box tests for the stripe hint's migration behaviour. The hint
+// is a stack-address hash: goroutine-correlated but oblivious to OS
+// thread (and therefore socket) migration. The pool compensates at the
+// two points that matter — release re-probes the hint so the slot
+// lands where the *next* acquire from this goroutine will look first,
+// and tryClaim restamps the thread's socket to the stripe it actually
+// popped from, so a slot that migrated stripes never advertises a
+// stale socket to the NUMA-aware locks.
+
+import (
+	"testing"
+
+	"repro/internal/numa"
+)
+
+// pinHint replaces the stripe hint with a settable value for the
+// duration of the test.
+func pinHint(t *testing.T) *uintptr {
+	t.Helper()
+	orig := stripeHint
+	t.Cleanup(func() { stripeHint = orig })
+	h := new(uintptr)
+	stripeHint = func() uintptr { return *h }
+	return h
+}
+
+// TestReleaseReprobesStripe is the cross-stripe reclaim contract: a
+// goroutine that claimed while hinting stripe 0 and releases while
+// hinting stripe 1 (it migrated between acquires) must park the slot
+// on stripe 1 — not the construction-time home — and the next claim
+// from the new stripe must get that very slot back, restamped.
+func TestReleaseReprobesStripe(t *testing.T) {
+	hint := pinHint(t)
+	p := NewPool(2, numa.TwoSocketXeonE5())
+
+	*hint = 0
+	th := p.tryClaim()
+	if th == nil {
+		t.Fatal("tryClaim failed on a full pool")
+	}
+	if th.Socket != 0 {
+		t.Fatalf("claim from stripe 0 stamped socket %d, want 0", th.Socket)
+	}
+
+	*hint = 1 // the goroutine migrated sockets between acquires
+	p.release(th)
+	if got := p.slots[th.ID].stripe; got != 1 {
+		t.Fatalf("released slot parked on stripe %d, want the re-probed stripe 1", got)
+	}
+
+	th2 := p.tryClaim()
+	if th2 != th {
+		t.Fatalf("claim after cross-stripe reclaim got thread %d, want the just-released %d (LIFO on the hinted stripe)", th2.ID, th.ID)
+	}
+	if th2.Socket != 1 {
+		t.Fatalf("reclaimed thread advertises socket %d, want the re-stamped 1", th2.Socket)
+	}
+	p.release(th2)
+}
+
+// TestClaimRestampsSocketOnFallover: even without a release in
+// between, a claim that falls over to another stripe (its hinted one
+// is empty) must restamp the thread to the stripe it actually came
+// from — the socket identity follows the slot's current home, never
+// the hint.
+func TestClaimRestampsSocketOnFallover(t *testing.T) {
+	hint := pinHint(t)
+	p := NewPool(2, numa.TwoSocketXeonE5())
+
+	*hint = 0
+	a := p.tryClaim() // drains stripe 0 (capacity 2 = one slot per stripe)
+	b := p.tryClaim() // falls over to stripe 1
+	if a == nil || b == nil {
+		t.Fatal("claims failed on a full pool")
+	}
+	if b.Socket != 1 {
+		t.Fatalf("fallover claim stamped socket %d, want 1 (the stripe it popped from)", b.Socket)
+	}
+	// Sockets must stay in range for every per-socket structure (RW
+	// read indicators, cohort locals) regardless of hint value.
+	*hint = 12345
+	p.release(a)
+	p.release(b)
+	if got := p.slots[a.ID].stripe; got < 0 || int(got) >= 2 {
+		t.Fatalf("re-probed stripe %d out of range", got)
+	}
+	c := p.tryClaim()
+	if c.Socket < 0 || c.Socket >= 2 {
+		t.Fatalf("restamped socket %d out of range", c.Socket)
+	}
+	p.release(c)
+}

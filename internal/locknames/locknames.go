@@ -55,3 +55,9 @@ const (
 // is CNA; see internal/locks/rw). It matches the stdlib baseline's
 // "std-rw" spelling, so the whole RW family shares one suffix.
 const RWSuffix = "-rw"
+
+// FissileSuffix marks the Fissile composite over a base queue lock
+// ("CNA" + FissileSuffix is the registered lock whose uncontended
+// acquires take a TAS outer word with one CAS and whose contended
+// acquires fall back to the CNA queue; see internal/locks/fissile).
+const FissileSuffix = "-fissile"

@@ -35,6 +35,7 @@ import (
 	"repro/internal/locknames"
 	"repro/internal/locks"
 	"repro/internal/locks/cohort"
+	"repro/internal/locks/fissile"
 	"repro/internal/locks/hmcs"
 	"repro/internal/locks/rw"
 	"repro/internal/numa"
@@ -95,6 +96,21 @@ const (
 	NameHMCSRW   = locknames.HMCS + locknames.RWSuffix
 	NameCNARW    = locknames.CNA + locknames.RWSuffix
 	NameCNAOptRW = locknames.CNAOpt + locknames.RWSuffix
+)
+
+// Fissile variants (see registerFissileVariants): the internal/locks/
+// fissile composite with the named base algorithm as its queue-path
+// fallback, under the base name plus locknames.FissileSuffix —
+// uncontended acquires take a TAS outer word with one CAS, contended
+// acquires fall back to the base queue.
+const (
+	NameMCSFissile    = locknames.MCS + locknames.FissileSuffix
+	NameCLHFissile    = locknames.CLH + locknames.FissileSuffix
+	NameMCSCRFissile  = locknames.MCSCR + locknames.FissileSuffix
+	NameCBOMCSFissile = locknames.CBOMCS + locknames.FissileSuffix
+	NameHMCSFissile   = locknames.HMCS + locknames.FissileSuffix
+	NameCNAFissile    = locknames.CNA + locknames.FissileSuffix
+	NameCNAOptFissile = locknames.CNAOpt + locknames.FissileSuffix
 )
 
 // Env carries the construction-time environment shared by all lock
@@ -516,6 +532,15 @@ func init() {
 	registerRWVariants(
 		NameMCS, NameCLH, NameCBOMCS, NameHMCS, NameCNA, NameCNAOpt,
 	)
+
+	// Fissile variants: the one-CAS fast path over every queue lock —
+	// the same set that gets *-park specs, since both constructions
+	// need a real queue underneath (a fissile TAS-over-TAS would just
+	// be a slower TAS). Registered after the RW family for the same
+	// position-stability reason.
+	registerFissileVariants(
+		NameMCS, NameCLH, NameMCSCR, NameCBOMCS, NameHMCS, NameCNA, NameCNAOpt,
+	)
 }
 
 // registerParkVariants derives a "<base>-park" Spec for each named base
@@ -544,6 +569,48 @@ func registerParkVariants(bases ...string) {
 			park.Aliases = append(park.Aliases, a+locknames.ParkSuffix)
 		}
 		Register(park)
+	}
+}
+
+// registerFissileVariants derives a "<base>-fissile" Spec for each
+// named base algorithm: the internal/locks/fissile composite with the
+// base lock as its contended fallback. The base's options pass straight
+// through to the queue (a CNA-fissile honours WithThreshold exactly
+// like CNA), WithPatience tunes the composite's anti-starvation bound,
+// and the registry's uniform WithWait / WithStats handling reaches both
+// layers through the composite's SetWait/EnableStats forwarding. Like
+// the park variants, the derived spec inherits the base's aliases with
+// the suffix appended.
+func registerFissileVariants(bases ...string) {
+	for _, base := range bases {
+		spec, ok := Lookup(base)
+		if !ok {
+			panic(fmt.Sprintf("lockreg: fissile variant of unregistered %q", base))
+		}
+		baseBuild := spec.Build
+		fs := Spec{
+			Name:        spec.Name + locknames.FissileSuffix,
+			Description: "Fissile composite: one-CAS TAS fast path, " + spec.Name + " queue under contention",
+			NUMAAware:   spec.NUMAAware,
+			Wait:        spec.Wait,
+			Build: func(env Env, opts ...Option) locks.Mutex {
+				inner, timed := baseBuild(env, opts...).(locks.TimedMutex)
+				if !timed {
+					// Unreachable for registered bases (every lock in the
+					// registry is timed); guards hand-rolled Specs.
+					panic(fmt.Sprintf("lockreg: fissile fallback %q is not a TimedMutex", base))
+				}
+				var fopts []fissile.Option
+				if c := apply(opts); c.patienceSet {
+					fopts = append(fopts, fissile.WithPatience(c.patience))
+				}
+				return fissile.New(inner, fopts...)
+			},
+		}
+		for _, a := range spec.Aliases {
+			fs.Aliases = append(fs.Aliases, a+locknames.FissileSuffix)
+		}
+		Register(fs)
 	}
 }
 

@@ -11,7 +11,8 @@ import (
 
 // wantNames is the full algorithm set the registry must cover, in
 // registration order: the base algorithms, then the derived
-// spin-then-park variants, then the stdlib baselines.
+// spin-then-park variants, then the stdlib baselines, then the derived
+// reader-writer and fissile families.
 var wantNames = []string{
 	NameTAS, NameTTAS, NameBOTAS, NameTicket, NamePTL,
 	NameMCS, NameCLH, NameHBO, NameMCSCR,
@@ -21,6 +22,8 @@ var wantNames = []string{
 	NameCBOMCSPark, NameHMCSPark, NameCNAPark, NameCNAOptPark,
 	NameStd, NameStdRW,
 	NameMCSRW, NameCLHRW, NameCBOMCSRW, NameHMCSRW, NameCNARW, NameCNAOptRW,
+	NameMCSFissile, NameCLHFissile, NameMCSCRFissile,
+	NameCBOMCSFissile, NameHMCSFissile, NameCNAFissile, NameCNAOptFissile,
 }
 
 func TestNamesCoverEveryAlgorithm(t *testing.T) {

@@ -36,6 +36,9 @@ type config struct {
 
 	rwNeutralSet bool
 	rwNeutral    bool // RW mode: reader-neutral instead of writer preference
+
+	patienceSet bool
+	patience    int // fissile alpha patience (probe rounds before barring)
 }
 
 // Option tunes one policy knob; see the With* constructors.
@@ -125,6 +128,17 @@ func WithWait(p waiter.Policy) Option {
 // ignore the option.
 func WithReaderNeutral(on bool) Option {
 	return func(c *config) { c.rwNeutralSet = true; c.rwNeutral = on }
+}
+
+// WithPatience sets the Fissile composite's anti-starvation bound for
+// the "*-fissile" specs (see internal/locks/fissile): how many probe
+// rounds the head queue waiter tolerates fast-path barging before it
+// bars the fast path and diverts new arrivals into the queue. Smaller
+// is fairer, larger is faster under bursty uncontended traffic;
+// default fissile.DefaultPatience. Non-fissile specs ignore the
+// option.
+func WithPatience(n int) Option {
+	return func(c *config) { c.patienceSet = true; c.patience = n }
 }
 
 // WithStats toggles holder-side statistics collection (handover

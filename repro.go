@@ -47,6 +47,24 @@
 // Every TryLock — on the native form and on the *Thread form — is a
 // pure fast-path probe: it never blocks and never joins a queue.
 //
+// # Fissile fast paths
+//
+// Every queue-lock family also registers a Fissile composite under the
+// "-fissile" suffix ("cna-fissile", "mcs-fissile", ...): a TAS outer
+// word that uncontended acquires take with a single CAS — no queue
+// node, no thread slot, no freelist traffic — falling back to the full
+// queue under contention, with a bounded-barging hand-back so queued
+// waiters cannot starve (WithPatience tunes the bound). Through
+// NewMutex this is the drop-in form that matches sync.Mutex's
+// uncontended latency while keeping the queue's NUMA policy under
+// load:
+//
+//	var mu = repro.MustNewMutex("cna-fissile") // uncontended: one CAS
+//
+// The trade-off is short-term fairness: fast-path acquirers can
+// overtake queued waiters within the patience window (see
+// internal/locks/fissile).
+//
 // # Reader-writer locks
 //
 // Every queue-lock family also registers a NUMA-aware reader-writer
@@ -290,6 +308,13 @@ func ParkWait() WaitPolicy { return waiter.Park{} }
 // a parkable waiter (the ticket family) degrade to yield-per-recheck
 // under parking policies.
 func WithWait(p WaitPolicy) BuildOption { return lockreg.WithWait(p) }
+
+// WithPatience tunes the "-fissile" composites' anti-starvation bound:
+// how many probe rounds the head queue waiter tolerates fast-path
+// barging before it bars the fast path. Smaller is fairer, larger is
+// faster under bursty uncontended traffic. Non-fissile locks ignore
+// the option.
+func WithPatience(n int) BuildOption { return lockreg.WithPatience(n) }
 
 // WithReaderNeutral switches a "-rw" lock from the default writer
 // preference (a waiting writer pauses new reader admission) to
