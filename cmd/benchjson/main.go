@@ -19,6 +19,18 @@
 // tables that show what per-socket reader admission buys as the mix
 // shifts read-mostly.
 //
+// The collapse sweep (-collapse, on by default) adds the saturated-
+// collapse axis: a cache-thrashing critical section plus a 256KiB
+// per-goroutine private working set, swept over every concurrency-
+// restriction lock ("cna-cr", "std-cr", ...) and its unwrapped base at
+// one thread per socket (each lock's own peak) and deeply
+// oversubscribed rungs at 8x/16x/32x/64x GOMAXPROCS. Circulating
+// goroutines drag their private blocks through the cache between
+// acquisitions, so unrestricted locks collapse as the rungs deepen
+// while the "*-cr" gates keep a socket-sized active set circulating
+// and hold their peak — the "Collapse" retention table in
+// BENCHMARKS.md, gated in CI via -collapsegate.
+//
 // The go-native mode (-gonative, on by default) additionally measures
 // every lock through the goroutine-native adapter (repro.NewMutex):
 // the uncontended sweep repeated with per-acquisition thread-slot
@@ -68,6 +80,8 @@ func main() {
 		ratios   = flag.String("readratios", "0,50,90,99,100", "comma-separated read percentages for the rwmix sweep over the reader-writer locks and their exclusive bases (empty disables the sweep)")
 		goNative = flag.Bool("gonative", true, "include the go-native sweeps: adapter-overhead latency per lock plus a contended spin-native rung")
 		gate     = flag.String("gonativegate", "", "adapter-overhead ratio gate, LOCK:BASE:RATIO (e.g. CNA-fissile:std:1.1): after the sweep, fail unless go-native uncontended ns/op of LOCK / BASE <= RATIO; both locks must be in -locks and -gonative enabled")
+		collapse = flag.String("collapse", "2,8x,16x,32x,64x", "comma-separated thread rungs for the saturated-collapse sweep over the concurrency-restriction locks and their bases; 'Nx' means N*GOMAXPROCS (empty disables the sweep; -short drops rungs above 32x)")
+		clGate   = flag.String("collapsegate", "", "collapse-retention gate, LOCK:BASE[:RATIO] (e.g. std-cr:std): after the sweep, fail unless LOCK's deep-rung retention of its own peak is >= RATIO (default 1.0) times BASE's; both locks must be in the collapse sweep")
 		md       = flag.Bool("md", false, "also render the report as markdown (see -mdout)")
 		mdOut    = flag.String("mdout", "BENCHMARKS.md", "output file for the markdown rendering")
 		render   = flag.Bool("render", false, "skip measurement: re-render -mdout from the existing -out JSON (implies -md)")
@@ -109,6 +123,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	clRungs, err := parseCollapseRungs(*collapse, *short)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	env.MaxThreads = counts[len(counts)-1]
 
 	// Durations: long enough for a stable average on a quiet host, short
@@ -117,9 +136,10 @@ func main() {
 	// dynamics are bimodal — stretches of uncontended monopoly inside a
 	// scheduler quantum alternating with handover convoys — and short
 	// windows sample one mode or the other instead of the mixture.
+	const oversubFullDur = 300 * time.Millisecond
 	latencyBudget := 100 * time.Millisecond
 	contendedDur := 50 * time.Millisecond
-	oversubDur := 300 * time.Millisecond
+	oversubDur := oversubFullDur
 	repeats := 3
 	if *short {
 		latencyBudget = 20 * time.Millisecond
@@ -235,6 +255,32 @@ func main() {
 		}
 	}
 
+	// Sweep 4: the saturated-collapse axis — the cache-thrashing mix over
+	// every concurrency-restriction spec and its unwrapped base, at each
+	// lock's own peak rung and the deep oversubscription rungs. Windows
+	// stay at the full oversubscribed length even in -short: collapse
+	// dynamics are scheduler-quantum-scale, and a shorter window samples
+	// one monopoly stretch instead of the steady state (the smoke run is
+	// kept cheap by dropping rungs, not by shrinking windows).
+	if len(clRungs) > 0 {
+		for _, spec := range collapseSweepSpecs(specs) {
+			for _, n := range clRungs {
+				r := harness.Run(harness.Config{
+					Name:         fmt.Sprintf("contended/collapse/t%d/%s", n, spec.Name),
+					Topo:         env.Topology,
+					Threads:      n,
+					Duration:     oversubFullDur,
+					Repeats:      repeats,
+					SamplePeriod: 64,
+				}, collapseWorkload(spec, env))
+				r.Lock = spec.Name
+				r.Workload = "collapse"
+				r.WaitPolicy = spec.Wait
+				results = append(results, r)
+			}
+		}
+	}
+
 	report := harness.NewReport(*short, results)
 	// Reporting threshold 10%: contended numbers on shared hosts are
 	// noisy; the diff flags movements worth a look, it is not a gate.
@@ -268,6 +314,12 @@ func main() {
 
 	if *gate != "" {
 		if err := checkGoNativeGate(*gate, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *clGate != "" {
+		if err := checkCollapseGate(*clGate, results); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -340,6 +392,11 @@ func writeMarkdownFile(path string, report harness.Report) error {
 		"spin-native": {Description: "The spin workload driven through the goroutine-native " +
 			"adapter (repro.NewMutex): anonymous goroutines, thread slots claimed per acquisition — " +
 			"the drop-in sync.Mutex usage pattern under contention."},
+		"collapse": {Description: "The saturated-collapse mix: 32 strided read-modify-writes " +
+			"through a 256KiB shared table inside the lock, 256 strided RMWs through the " +
+			"goroutine's own 256KiB private block outside it, then a yield. Deep rungs cycle " +
+			"dozens of private working sets through the cache unless an admission gate keeps " +
+			"the circulating set small — see the Collapse retention table below."},
 	}
 	for _, wl := range lockreg.Workloads() {
 		info[wl.Name] = harness.WorkloadInfo{Description: wl.Description, PaperRef: wl.PaperRef}
@@ -540,6 +597,162 @@ func rwMixWorkload(spec lockreg.Spec, env lockreg.Env, readPct int) harness.Work
 	}
 }
 
+// collapseSweepSpecs filters the resolved specs down to the collapse
+// sweep's population: every concurrency-restriction spec plus every
+// spec with a registered "-cr" derivative (its unwrapped base), so the
+// tables always read as gated-vs-unrestricted pairs.
+func collapseSweepSpecs(specs []lockreg.Spec) []lockreg.Spec {
+	var out []lockreg.Spec
+	for _, s := range specs {
+		if strings.HasSuffix(s.Name, locknames.CRSuffix) {
+			out = append(out, s)
+			continue
+		}
+		if _, ok := lockreg.Lookup(s.Name + locknames.CRSuffix); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// parseCollapseRungs parses the -collapse rung list with the same Nx
+// convention as -threads. In short mode the rungs above 32x GOMAXPROCS
+// are dropped: the CI smoke run keeps the full 300ms windows (see the
+// sweep comment), so the budget is capped by sweeping fewer rungs.
+func parseCollapseRungs(s string, short bool) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	rungs, err := parseCounts(s, numa.TwoSocketXeonE5().Sockets)
+	if err != nil {
+		return nil, err
+	}
+	if short {
+		limit := 32 * runtime.GOMAXPROCS(0)
+		kept := rungs[:0]
+		for _, n := range rungs {
+			if n <= limit {
+				kept = append(kept, n)
+			}
+		}
+		rungs = kept
+	}
+	return rungs, nil
+}
+
+// collapseWorkload is the benchjson-local saturated-collapse mix. The
+// critical section does 32 strided read-modify-writes through a 256KiB
+// shared table; the non-critical section does 256 strided RMWs through
+// the goroutine's own 256KiB private block, then yields (the scheduler
+// touchpoint that lets the runtime multiplex threads > GOMAXPROCS).
+// The private blocks are the collapse mechanism: with a handful of
+// goroutines circulating, their blocks stay cache-resident between
+// acquisitions; with dozens circulating round-robin, every acquisition
+// re-faults a cold block through the shared cache and throughput
+// falls. A concurrency-restriction gate keeps the circulating set
+// small no matter how deep the rung, which is exactly what the
+// retention column of the Collapse table measures.
+func collapseWorkload(spec lockreg.Spec, env lockreg.Env) harness.Workload {
+	return func(threads int) func(*locks.Thread, int) {
+		e := env
+		e.MaxThreads = threads
+		m := spec.Build(e)
+		const (
+			words   = 1 << 15 // 256 KiB of uint64s
+			mask    = words - 1
+			csLines = 32  // cache lines touched inside the lock
+			ncLines = 256 // cache lines touched in the private block
+		)
+		shared := make([]uint64, words)
+		priv := make([][]uint64, threads)
+		for i := range priv {
+			priv[i] = make([]uint64, words)
+		}
+		// Per-thread stride cursors, padded a cache line apart.
+		cur := make([]uint64, threads*8)
+		return func(t *locks.Thread, op int) {
+			c := cur[t.ID*8]
+			m.Lock(t)
+			for k := 0; k < csLines; k++ {
+				c = (c + 8*uint64(k+1)) & mask
+				shared[c] = shared[c]*6364136223846793005 + 1442695040888963407
+			}
+			m.Unlock(t)
+			cur[t.ID*8] = c
+			p := priv[t.ID]
+			j := cur[t.ID*8+1]
+			for k := 0; k < ncLines; k++ {
+				j = (j + 8*37) & mask
+				p[j] = p[j]*6364136223846793005 + 1442695040888963407
+			}
+			cur[t.ID*8+1] = j
+			runtime.Gosched()
+		}
+	}
+}
+
+// checkCollapseGate enforces a -collapsegate spec against the run's own
+// collapse-sweep results. "std-cr:std" fails the run unless the gated
+// lock retained at least as much of its own peak throughput at the
+// deepest swept rung as the unwrapped base did — the CI guard that the
+// admission gate actually prevents the collapse it exists to prevent.
+// An explicit third field sets the required retention ratio.
+func checkCollapseGate(gate string, results []harness.Result) error {
+	parts := strings.Split(gate, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return fmt.Errorf("benchjson: bad -collapsegate %q: want LOCK:BASE[:RATIO]", gate)
+	}
+	minRatio := 1.0
+	if len(parts) == 3 {
+		r, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil || r <= 0 {
+			return fmt.Errorf("benchjson: bad -collapsegate ratio %q", parts[2])
+		}
+		minRatio = r
+	}
+	retention := func(lock string) (float64, int, int, error) {
+		spec, ok := lockreg.Lookup(lock)
+		if !ok {
+			return 0, 0, 0, lockreg.UnknownLockError(lock)
+		}
+		var peakT, deepT int
+		var peak, deep float64
+		for _, r := range results {
+			if r.Workload != "collapse" || r.Lock != spec.Name {
+				continue
+			}
+			if peakT == 0 || r.Threads < peakT {
+				peakT, peak = r.Threads, r.Throughput
+			}
+			if r.Threads > deepT {
+				deepT, deep = r.Threads, r.Throughput
+			}
+		}
+		if peakT == 0 || deepT == peakT {
+			return 0, 0, 0, fmt.Errorf("benchjson: -collapsegate lock %q needs at least two collapse rungs in this run (is it in -locks, with -collapse set?)", lock)
+		}
+		if peak <= 0 {
+			return 0, 0, 0, fmt.Errorf("benchjson: -collapsegate lock %q measured zero peak throughput", lock)
+		}
+		return deep / peak, peakT, deepT, nil
+	}
+	lockRet, _, deepT, err := retention(parts[0])
+	if err != nil {
+		return err
+	}
+	baseRet, _, _, err := retention(parts[1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collapsegate: at t%d, %s retains %.3fx of its peak vs %s %.3fx (need >= %.2fx of base)\n",
+		deepT, parts[0], lockRet, parts[1], baseRet, minRatio)
+	if lockRet < minRatio*baseRet {
+		return fmt.Errorf("benchjson: collapse gate failed: %s retention %.3fx is below %.2fx of %s's %.3fx",
+			parts[0], lockRet, minRatio, parts[1], baseRet)
+	}
+	return nil
+}
+
 // parseRatios parses the -readratios list of read percentages in
 // [0, 100]; empty disables the rwmix sweep.
 func parseRatios(s string) ([]int, error) {
@@ -591,6 +804,10 @@ func parseCounts(s string, sockets int) ([]int, error) {
 			tok := strings.TrimSpace(tok)
 			num, mult := tok, 1
 			if rest, ok := strings.CutSuffix(tok, "x"); ok {
+				num, mult = rest, gmp
+			} else if rest, ok := strings.CutSuffix(tok, "X"); ok {
+				// Accept the uppercase spelling too (CI configs and the
+				// kvserver flag both write 32X).
 				num, mult = rest, gmp
 			}
 			n, err := strconv.Atoi(num)

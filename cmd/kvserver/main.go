@@ -9,6 +9,7 @@
 //	go run ./cmd/kvserver -locks CNA,CNA-park,std -threads 1x,4x -swap-every 20ms
 //	go run ./cmd/kvserver -locks CNA -threads 4x -deadline-frac 0.5 -max-retries 2
 //	go run ./cmd/kvserver -locks CNA-rw,CNA,std-rw -get 0,0.5,0.9,0.99,1   # read-ratio axis
+//	go run ./cmd/kvserver -locks CNA-cr,std-cr -threads 8x -active 3 -rotate 4096   # admission gates under oversubscription
 //	go run ./cmd/kvserver -render -out kvserver.json   # re-render/validate JSON
 //
 // Each -locks entry is measured in its own run with every shard under
@@ -62,6 +63,8 @@ func main() {
 		dlFrac    = flag.Float64("deadline-frac", 0, "admission deadline as a fraction of the class SLO; timed-out acquires are shed (0 = untimed path)")
 		retries   = flag.Int("max-retries", 0, "re-admission attempts after a deadline miss before a request is shed")
 		backoff   = flag.Duration("retry-backoff", 0, "linear backoff unit: sleep k*backoff before retry k")
+		active    = flag.Int("active", 0, "admission-gate active-set size for '*-cr' shard locks (0 = the gate's default, one slot per socket plus one); other locks ignore it")
+		rotate    = flag.Int("rotate", 0, "admission-gate rotation period in departures for '*-cr' shard locks (0 = the gate's default); other locks ignore it")
 		seed      = flag.Uint64("seed", 1, "load-generator seed")
 		short     = flag.Bool("short", false, "smoke mode for CI: shorter windows, fewer worker rungs")
 		progress  = flag.Bool("progress", false, "print live p99s mid-run (concurrent histogram snapshots)")
@@ -134,6 +137,17 @@ func main() {
 		}
 	}
 
+	if *active < 0 || *rotate < 0 {
+		die("-active and -rotate must be >= 0 (0 = the gate's default)")
+	}
+	var lockOpts []lockreg.Option
+	if *active > 0 {
+		lockOpts = append(lockOpts, lockreg.WithActiveSet(*active))
+	}
+	if *rotate > 0 {
+		lockOpts = append(lockOpts, lockreg.WithRotateEvery(*rotate))
+	}
+
 	env := lockreg.Env{Topology: numa.TwoSocketXeonE5()}
 	var results []harness.Result
 	for _, spec := range specs {
@@ -146,6 +160,7 @@ func main() {
 					// Every worker may hold one acquisition; a little slack
 					// covers the swap rotation's drain acquisitions.
 					PoolCapacity: workers + 2,
+					Options:      lockOpts,
 				})
 				load := kvserver.LoadSpec{
 					Keys:     *keys,

@@ -200,6 +200,11 @@ type Config struct {
 	// server (the shared gonative slot pool). Zero means
 	// gonative.DefaultCapacity().
 	PoolCapacity int
+	// Options are passed to every shard-lock construction (including
+	// live swaps), so registry knobs — WithActiveSet / WithRotateEvery
+	// for the "*-cr" admission gates, WithThreshold for CNA, ... —
+	// reach the serving path.
+	Options []lockreg.Option
 }
 
 // Server is the sharded KV store. Methods are safe for concurrent use
@@ -209,6 +214,7 @@ type Server struct {
 	shards []shard
 	pool   *gonative.Pool
 	env    lockreg.Env
+	opts   []lockreg.Option
 }
 
 // New builds a Server with cfg's shard count and per-shard lock
@@ -229,6 +235,7 @@ func New(cfg Config) *Server {
 		shards: make([]shard, cfg.Shards),
 		pool:   gonative.NewPool(cfg.PoolCapacity, env.Topology),
 		env:    env,
+		opts:   cfg.Options,
 	}
 	for i := range srv.shards {
 		sh := &srv.shards[i]
@@ -247,14 +254,14 @@ func New(cfg Config) *Server {
 // shardLock's m is then the same lock's write side.
 func (s *Server) buildLock(spec lockreg.Spec) *shardLock {
 	if spec.RW {
-		if rwm, err := gonative.WrapRWWithPool(spec, s.env, s.pool); err == nil {
+		if rwm, err := gonative.WrapRWWithPool(spec, s.env, s.pool, s.opts...); err == nil {
 			return &shardLock{m: rwm, spec: spec, rw: rwm}
 		}
 	}
 	if spec.Native != nil {
-		return &shardLock{m: spec.Native(s.env), spec: spec}
+		return &shardLock{m: spec.Native(s.env, s.opts...), spec: spec}
 	}
-	return &shardLock{m: gonative.WrapWithPool(spec, s.env, s.pool), spec: spec}
+	return &shardLock{m: gonative.WrapWithPool(spec, s.env, s.pool, s.opts...), spec: spec}
 }
 
 // shardFor routes a key to its shard (same multiplicative hash as the

@@ -61,3 +61,10 @@ const RWSuffix = "-rw"
 // acquires take a TAS outer word with one CAS and whose contended
 // acquires fall back to the CNA queue; see internal/locks/fissile).
 const FissileSuffix = "-fissile"
+
+// CRSuffix marks the concurrency-restriction composite over a base lock
+// ("CNA" + CRSuffix is the registered lock that fronts CNA with a GCR
+// admission gate: a bounded active set may reach the inner lock, surplus
+// arrivals are culled onto a passive parked list and rotated back in for
+// long-term fairness; see internal/locks/gcr).
+const CRSuffix = "-cr"

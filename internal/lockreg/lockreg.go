@@ -36,6 +36,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/locks/cohort"
 	"repro/internal/locks/fissile"
+	"repro/internal/locks/gcr"
 	"repro/internal/locks/hmcs"
 	"repro/internal/locks/rw"
 	"repro/internal/numa"
@@ -111,6 +112,24 @@ const (
 	NameHMCSFissile   = locknames.HMCS + locknames.FissileSuffix
 	NameCNAFissile    = locknames.CNA + locknames.FissileSuffix
 	NameCNAOptFissile = locknames.CNAOpt + locknames.FissileSuffix
+)
+
+// Concurrency-restriction variants (see registerCRVariants): the
+// internal/locks/gcr admission gate over the named base algorithm,
+// under the base name plus locknames.CRSuffix — a bounded active set
+// reaches the inner lock, surplus arrivals park on a passive list and
+// rotate back in, so throughput stays flat under deep oversubscription.
+const (
+	NameStdCR    = locknames.Std + locknames.CRSuffix
+	NameTicketCR = locknames.Ticket + locknames.CRSuffix
+	// NameMCSGCR is "MCS-cr"; the natural NameMCSCR spelling already
+	// names the Malthusian lock ("MCSCR", Dice 2017), so the gated-MCS
+	// constant carries the GCR tag instead.
+	NameMCSGCR   = locknames.MCS + locknames.CRSuffix
+	NameCNACR    = locknames.CNA + locknames.CRSuffix
+	NameCNAOptCR = locknames.CNAOpt + locknames.CRSuffix
+	NameCBOMCSCR = locknames.CBOMCS + locknames.CRSuffix
+	NameHMCSCR   = locknames.HMCS + locknames.CRSuffix
 )
 
 // Env carries the construction-time environment shared by all lock
@@ -424,9 +443,13 @@ func init() {
 		Description: "Malthusian MCS: culls excess waiters to a passive list (Dice 2017)",
 		Build: func(env Env, opts ...Option) locks.Mutex {
 			c := apply(opts)
-			return locks.NewMalthusian(env.Threads(),
+			m := locks.NewMalthusian(env.Threads(),
 				c.minActiveOr(locks.DefaultMalthusianMinActive),
 				c.thresholdOr(locks.DefaultMalthusianReviveMask))
+			if c.passivationDelaySet {
+				m.SetPassivationDelay(c.passivationDelay)
+			}
+			return m
 		},
 	})
 	Register(Spec{
@@ -541,6 +564,14 @@ func init() {
 	registerFissileVariants(
 		NameMCS, NameCLH, NameMCSCR, NameCBOMCS, NameHMCS, NameCNA, NameCNAOpt,
 	)
+
+	// Concurrency-restriction variants: the GCR admission gate over the
+	// stdlib baseline, the global-spinning ticket lock (the two that
+	// collapse hardest under oversubscription) and the queue/NUMA locks
+	// the paper sweeps. Registered last for position stability.
+	registerCRVariants(
+		NameStd, NameTicket, NameMCS, NameCNA, NameCNAOpt, NameCBOMCS, NameHMCS,
+	)
 }
 
 // registerParkVariants derives a "<base>-park" Spec for each named base
@@ -611,6 +642,57 @@ func registerFissileVariants(bases ...string) {
 			fs.Aliases = append(fs.Aliases, a+locknames.FissileSuffix)
 		}
 		Register(fs)
+	}
+}
+
+// registerCRVariants derives a "<base>-cr" Spec for each named base
+// algorithm: the internal/locks/gcr generic concurrency-restriction
+// composite with the base lock behind its admission gate. The base's
+// options pass straight through to the inner lock (a CNA-cr honours
+// WithThreshold exactly like CNA), WithActiveSet / WithRotateEvery
+// tune the gate, and the registry's uniform WithWait / WithStats
+// handling reaches both layers through the composite's SetWait /
+// EnableStats forwarding (SetWait also selects the passive waiters'
+// parking policy). The composite defaults its passive side to
+// spin-then-park — culled waiters are expected to park, that is the
+// point — so the Spec's Wait field reports spin-park. Like the park
+// variants, the derived spec inherits the base's aliases with the
+// suffix appended.
+func registerCRVariants(bases ...string) {
+	for _, base := range bases {
+		spec, ok := Lookup(base)
+		if !ok {
+			panic(fmt.Sprintf("lockreg: CR variant of unregistered %q", base))
+		}
+		baseBuild := spec.Build
+		cr := Spec{
+			Name:        spec.Name + locknames.CRSuffix,
+			Description: "GCR admission gate over " + spec.Name + ": bounded active set, surplus waiters parked and rotated",
+			NUMAAware:   spec.NUMAAware,
+			Wait:        waiter.SpinThenPark{}.Name(),
+			Build: func(env Env, opts ...Option) locks.Mutex {
+				inner, timed := baseBuild(env, opts...).(locks.TimedMutex)
+				if !timed {
+					// Unreachable for registered bases (every lock in the
+					// registry is timed); guards hand-rolled Specs.
+					panic(fmt.Sprintf("lockreg: CR inner lock %q is not a TimedMutex", base))
+				}
+				var gopts []gcr.Option
+				if c := apply(opts); c.activeSetSet || c.rotateEverySet {
+					if c.activeSetSet {
+						gopts = append(gopts, gcr.WithActiveSet(c.activeSet))
+					}
+					if c.rotateEverySet {
+						gopts = append(gopts, gcr.WithRotateEvery(c.rotateEvery))
+					}
+				}
+				return gcr.New(inner, env.Sockets(), gopts...)
+			},
+		}
+		for _, a := range spec.Aliases {
+			cr.Aliases = append(cr.Aliases, a+locknames.CRSuffix)
+		}
+		Register(cr)
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 // wantNames is the full algorithm set the registry must cover, in
 // registration order: the base algorithms, then the derived
 // spin-then-park variants, then the stdlib baselines, then the derived
-// reader-writer and fissile families.
+// reader-writer, fissile and concurrency-restriction families.
 var wantNames = []string{
 	NameTAS, NameTTAS, NameBOTAS, NameTicket, NamePTL,
 	NameMCS, NameCLH, NameHBO, NameMCSCR,
@@ -24,6 +24,8 @@ var wantNames = []string{
 	NameMCSRW, NameCLHRW, NameCBOMCSRW, NameHMCSRW, NameCNARW, NameCNAOptRW,
 	NameMCSFissile, NameCLHFissile, NameMCSCRFissile,
 	NameCBOMCSFissile, NameHMCSFissile, NameCNAFissile, NameCNAOptFissile,
+	NameStdCR, NameTicketCR, NameMCSGCR,
+	NameCNACR, NameCNAOptCR, NameCBOMCSCR, NameHMCSCR,
 }
 
 func TestNamesCoverEveryAlgorithm(t *testing.T) {

@@ -39,6 +39,15 @@ type config struct {
 
 	patienceSet bool
 	patience    int // fissile alpha patience (probe rounds before barring)
+
+	activeSetSet bool
+	activeSet    int // GCR admission-gate slot count ("*-cr" specs)
+
+	rotateEverySet bool
+	rotateEvery    int // GCR rotation period in departures
+
+	passivationDelaySet bool
+	passivationDelay    int // MCSCR cull hysteresis (eligible releases before culling)
 }
 
 // Option tunes one policy knob; see the With* constructors.
@@ -139,6 +148,36 @@ func WithReaderNeutral(on bool) Option {
 // option.
 func WithPatience(n int) Option {
 	return func(c *config) { c.patienceSet = true; c.patience = n }
+}
+
+// WithActiveSet sets the GCR admission gate's slot count for the
+// "*-cr" specs (see internal/locks/gcr): how many threads may hold
+// membership and reach the inner lock at once; surplus arrivals are
+// culled onto the passive list. Default one slot per socket plus one
+// (holder + one ready waiter per socket). Non-CR specs ignore the
+// option.
+func WithActiveSet(n int) Option {
+	return func(c *config) { c.activeSetSet = true; c.activeSet = n }
+}
+
+// WithRotateEvery sets the GCR rotation period for the "*-cr" specs:
+// every n-th departure hands the departing member's slot to the oldest
+// passive waiter, bounding any waiter's exile. Smaller is fairer,
+// larger preserves more cache affinity in the active set; default
+// gcr.DefaultRotateEvery. Non-CR specs ignore the option.
+func WithRotateEvery(n int) Option {
+	return func(c *config) { c.rotateEverySet = true; c.rotateEvery = n }
+}
+
+// WithPassivationDelay sets the Malthusian lock's cull hysteresis: the
+// number of consecutive cull-eligible releases the holder must observe
+// before it actually moves a waiter to the passive list. 0 (the
+// default) culls on the first eligible release — the original
+// Malthusian behaviour; larger values make passivation reluctant, so
+// short contention bursts pass through without long-term demotions.
+// Specs without a Malthusian layer ignore the option.
+func WithPassivationDelay(n int) Option {
+	return func(c *config) { c.passivationDelaySet = true; c.passivationDelay = n }
 }
 
 // WithStats toggles holder-side statistics collection (handover

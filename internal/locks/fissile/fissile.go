@@ -101,6 +101,33 @@ type Lock struct {
 	patience int
 	statsOn  bool
 	stats    Stats
+
+	// queued gauges the slow path: the number of threads currently
+	// inside LockSlow/LockSlowTimeout (queued behind the inner lock or
+	// competing for the outer word as the alpha). The alpha reads it to
+	// adapt its patience — see effectivePatience.
+	queued atomic.Int32
+}
+
+// adaptiveShrink divides the patience budget while the inner queue is
+// non-empty. With waiters stacked behind the alpha, every probe round
+// the alpha tolerates barging is paid by the whole queue, so the budget
+// shrinks to patience/adaptiveShrink (floor 1); once the queue drains
+// the next alpha gets the full budget back.
+const adaptiveShrink = 8
+
+// effectivePatience is the alpha's adaptive probe budget: the full
+// patience when the alpha waits alone, patience/adaptiveShrink (at
+// least 1) while the gauge shows threads queued behind it.
+func (l *Lock) effectivePatience() int {
+	if l.queued.Load() > 1 {
+		p := l.patience / adaptiveShrink
+		if p < 1 {
+			p = 1
+		}
+		return p
+	}
+	return l.patience
 }
 
 // Option tunes one composite knob; see WithPatience.
@@ -172,16 +199,20 @@ func (l *Lock) TryLock(t *locks.Thread) bool { return l.TryFast() }
 // the goroutine-native adapter can claim its thread slot only for this
 // path.
 func (l *Lock) LockSlow(t *locks.Thread) {
+	l.queued.Add(1)
 	l.inner.Lock(t)
 	l.acquireOuter()
+	l.queued.Add(-1)
 	l.inner.Unlock(t)
 }
 
 // acquireOuter wins the outer word as the alpha waiter (inner lock
-// held).
+// held). The probe budget adapts to queue pressure: see
+// effectivePatience.
 func (l *Lock) acquireOuter() {
+	patience := l.effectivePatience()
 	var w spinwait.Spinner
-	for i := 0; i < l.patience; i++ {
+	for i := 0; i < patience; i++ {
 		if l.word.Load() == 0 && l.word.CompareAndSwap(0, lockedBit) {
 			if l.statsOn {
 				l.stats.SlowAcquires++
@@ -232,10 +263,13 @@ func (l *Lock) LockSlowTimeout(t *locks.Thread, d time.Duration) bool {
 		return false
 	}
 	deadline := time.Now().Add(d)
+	l.queued.Add(1)
 	if !l.inner.LockTimeout(t, d) {
+		l.queued.Add(-1)
 		return false
 	}
 	ok := l.acquireOuterTimeout(deadline)
+	l.queued.Add(-1)
 	l.inner.Unlock(t)
 	return ok
 }
@@ -245,8 +279,9 @@ func (l *Lock) LockSlowTimeout(t *locks.Thread, d time.Duration) bool {
 // while barred it makes one final CAS attempt and then withdraws the
 // bar, so an abandoned wait never leaves the fast path closed.
 func (l *Lock) acquireOuterTimeout(deadline time.Time) bool {
+	patience := l.effectivePatience()
 	var w spinwait.Spinner
-	for i := 1; i <= l.patience; i++ {
+	for i := 1; i <= patience; i++ {
 		if l.word.Load() == 0 && l.word.CompareAndSwap(0, lockedBit) {
 			if l.statsOn {
 				l.stats.SlowAcquires++

@@ -65,6 +65,20 @@
 // overtake queued waiters within the patience window (see
 // internal/locks/fissile).
 //
+// # Concurrency restriction
+//
+// The "-cr" suffix ("std-cr", "cna-cr", "tkt-cr", ...) wraps a lock in
+// a generic concurrency-restriction gate (internal/locks/gcr, after
+// Dice & Kogan 2019's GCR): a socket-sized active set circulates over
+// the inner lock while surplus arrivals park on a passive list,
+// rotated back in for long-term fairness. It is the spelling to reach
+// for under deep oversubscription — when goroutines hammering one hot
+// lock outnumber cores many times over, a gated lock holds its peak
+// throughput where the unwrapped lock (sync.Mutex included) collapses.
+// WithActiveSet and WithRotateEvery tune the gate:
+//
+//	var mu = repro.MustNewMutex("std-cr") // sync.Mutex + admission control
+//
 // # Reader-writer locks
 //
 // Every queue-lock family also registers a NUMA-aware reader-writer
@@ -315,6 +329,26 @@ func WithWait(p WaitPolicy) BuildOption { return lockreg.WithWait(p) }
 // faster under bursty uncontended traffic. Non-fissile locks ignore
 // the option.
 func WithPatience(n int) BuildOption { return lockreg.WithPatience(n) }
+
+// WithActiveSet sizes the "-cr" composites' admission gate: how many
+// threads may hold membership and circulate over the inner lock at
+// once (default one slot per socket plus one). Surplus arrivals are
+// culled onto the passive parked list. Non-CR locks ignore the option.
+func WithActiveSet(n int) BuildOption { return lockreg.WithActiveSet(n) }
+
+// WithRotateEvery sets the "-cr" composites' rotation period: every
+// n-th departure hands the departing member's admission slot to the
+// oldest passive waiter, bounding any waiter's exile. Smaller is
+// fairer, larger preserves more cache affinity in the active set.
+// Non-CR locks ignore the option.
+func WithRotateEvery(n int) BuildOption { return lockreg.WithRotateEvery(n) }
+
+// WithPassivationDelay sets the Malthusian lock's (MCSCR) cull
+// hysteresis: how many consecutive cull-eligible releases the holder
+// observes before actually demoting a waiter to the passive list
+// (default 0, cull immediately). Larger values let short contention
+// bursts pass through without long-term demotions.
+func WithPassivationDelay(n int) BuildOption { return lockreg.WithPassivationDelay(n) }
 
 // WithReaderNeutral switches a "-rw" lock from the default writer
 // preference (a waiting writer pauses new reader admission) to
